@@ -1,0 +1,52 @@
+"""Ablation — the Definition 1 weight parameter alpha.
+
+"The value of the weight parameter alpha can be set experimentally or
+obtained as an input from the user, depending on the importance of
+performance and power consumption objectives."  The paper does not plot
+this sweep; we add it as the natural first ablation: alpha -> 1 clusters
+purely by bandwidth (power-biased), alpha -> 0 purely by latency
+tightness (performance-biased).
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+from repro import SynthesisConfig, synthesize
+from repro.io.report import format_table
+from repro.soc.benchmarks import mobile_soc_26
+from repro.soc.partitioning import logical_partitioning
+
+ALPHAS = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+def test_alpha_sweep(benchmark):
+    spec = logical_partitioning(mobile_soc_26(), 6)
+
+    def sweep():
+        rows = []
+        for alpha in ALPHAS:
+            cfg = SynthesisConfig(alpha=alpha, max_intermediate=1)
+            space = synthesize(spec, config=cfg)
+            p_best = space.best_by_power()
+            l_best = space.best_by_latency()
+            rows.append(
+                {
+                    "alpha": alpha,
+                    "best_power_mw": p_best.power_mw,
+                    "latency_at_best_power": p_best.avg_latency_cycles,
+                    "best_latency_cycles": l_best.avg_latency_cycles,
+                    "design_points": len(space),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(rows, title="Ablation: VCG weight alpha (d26, 6 logical VIs)")
+    print("\n" + table)
+    write_result("ablation_alpha", table, rows)
+
+    # Every alpha yields a feasible space; the spread quantifies how
+    # much the clustering objective matters on this benchmark.
+    assert all(r["design_points"] >= 1 for r in rows)
+    powers = [r["best_power_mw"] for r in rows]
+    assert max(powers) / min(powers) < 1.5, "alpha should tune, not break, the design"

@@ -1,0 +1,71 @@
+"""Ablation — NoC link data width.
+
+Section 4, step 1: "without loss of generality, we fix the data width
+of the NoC links to a user-defined value.  Please note that it could be
+varied in a range and more design points could be explored."  This
+bench explores that range: wider links lower the island frequencies
+(bandwidth = width x frequency), which relaxes the switch-size bound
+and shrinks clock power, at the cost of wider wires and bigger
+crossbars per bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from conftest import write_result
+from repro import NocLibrary, SynthesisConfig, synthesize
+from repro.core.frequency import plan_all_islands
+from repro.io.report import format_table
+from repro.soc.benchmarks import mobile_soc_26
+from repro.soc.partitioning import logical_partitioning
+
+WIDTHS = [16, 32, 64, 128]
+
+
+def _library_for_width(width: int) -> NocLibrary:
+    """Scale width-dependent constants off the 32-bit calibration."""
+    scale = width / 32.0
+    base = NocLibrary()
+    return dataclasses.replace(
+        base,
+        data_width_bits=width,
+        # Wires and crossbar datapath grow with width.
+        link_ebit_per_mm_pj=base.link_ebit_per_mm_pj,  # per-bit: unchanged
+        switch_area_mm2_per_crosspoint=base.switch_area_mm2_per_crosspoint * scale,
+        switch_idle_mw_per_mhz_per_port=base.switch_idle_mw_per_mhz_per_port * scale,
+        link_leak_mw_per_mm=base.link_leak_mw_per_mm * scale,
+    )
+
+
+def test_data_width_sweep(benchmark):
+    spec = logical_partitioning(mobile_soc_26(), 6)
+
+    def sweep():
+        rows = []
+        for width in WIDTHS:
+            lib = _library_for_width(width)
+            plans = plan_all_islands(spec, lib)
+            space = synthesize(spec, lib, SynthesisConfig(max_intermediate=1))
+            best = space.best_by_power()
+            rows.append(
+                {
+                    "width_bits": width,
+                    "max_island_freq_mhz": max(p.freq_mhz for p in plans.values()),
+                    "best_power_mw": best.power_mw,
+                    "avg_latency_cycles": best.avg_latency_cycles,
+                    "noc_area_mm2": best.soc_power.noc_area_mm2,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(rows, title="Ablation: link data width (d26, 6 logical VIs)")
+    print("\n" + table)
+    write_result("ablation_datawidth", table, rows)
+
+    # Wider links always reduce the required island frequencies.
+    freqs = [r["max_island_freq_mhz"] for r in rows]
+    assert freqs == sorted(freqs, reverse=True)
+    # All widths feasible on this SoC.
+    assert all(r["best_power_mw"] > 0 for r in rows)

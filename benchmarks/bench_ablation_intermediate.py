@@ -1,0 +1,73 @@
+"""Ablation — the intermediate (never-gated) NoC island.
+
+Section 3.2: the method "can explore solutions where a separate NoC VI
+can be created ... our method will use the intermediate island, only if
+the resources are available".  Its value shows when direct inter-island
+links would blow the switch-size budget: indirect switches concentrate
+the cross traffic.  This bench compares synthesis with the intermediate
+island forbidden vs allowed, at increasing island counts where the
+cross-island link pressure grows.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+from repro import InfeasibleError, SynthesisConfig, synthesize
+from repro.io.report import format_table
+from repro.soc.benchmarks import mobile_soc_26
+from repro.soc.generator import hub_soc
+from repro.soc.partitioning import logical_partitioning
+
+
+def _synth_row(spec, label_prefix, row):
+    for allow, label in ((False, "direct_only"), (True, "with_mid")):
+        cfg = SynthesisConfig(allow_intermediate=allow, max_intermediate=3)
+        try:
+            space = synthesize(spec, config=cfg)
+            best = space.best_by_power()
+            row["%s_mw" % label] = round(best.power_mw, 2)
+            row["%s_points" % label] = len(space)
+            if allow:
+                row["mid_switches_used"] = best.num_intermediate_used
+        except InfeasibleError:
+            row["%s_mw" % label] = "infeasible"
+            row["%s_points" % label] = 0
+    return row
+
+
+def test_intermediate_island_ablation(benchmark):
+    spec26 = mobile_soc_26()
+
+    def sweep():
+        rows = []
+        for n in (4, 6, 12, 26):
+            part = logical_partitioning(spec26, n)
+            rows.append(_synth_row(part, "d26", {"design": "d26@%d" % n}))
+        # The hub-and-spoke stress case: one fast memory island talking
+        # to 24 single-core islands.  Direct links exceed max_sw_size;
+        # only the intermediate island makes the design feasible
+        # (Section 4's motivation, in its sharpest form).
+        rows.append(_synth_row(hub_soc(), "hub", {"design": "hub24"}))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        rows, title="Ablation: intermediate NoC island forbidden vs allowed"
+    )
+    print("\n" + table)
+    write_result("ablation_intermediate", table, rows)
+
+    for row in rows:
+        # Allowing the intermediate island can only enlarge the design
+        # space, so the best power is never worse.
+        assert row["with_mid_points"] >= row["direct_only_points"]
+        if row["direct_only_points"]:
+            assert row["with_mid_mw"] <= row["direct_only_mw"] + 1e-9
+    # d26 never needs indirect switches (its islands are port-rich)...
+    d26_rows = [r for r in rows if r["design"].startswith("d26")]
+    assert all(r["direct_only_points"] > 0 for r in d26_rows)
+    # ...but the hub design is infeasible without them.
+    hub_row = rows[-1]
+    assert hub_row["direct_only_points"] == 0
+    assert hub_row["with_mid_points"] > 0
+    assert hub_row["mid_switches_used"] > 0

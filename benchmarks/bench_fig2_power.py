@@ -1,0 +1,63 @@
+"""Figure 2 — NoC dynamic power vs voltage-island count.
+
+Paper (Section 5, Figure 2): on the 26-core mobile SoC, sweeping the
+island count for two core-to-island assignments shows
+
+* *logical partitioning* pays a power overhead over the 1-island
+  reference ("there are more high bandwidth flows that have to go
+  across islands");
+* *communication-based partitioning* consumes **less** than the
+  reference ("the NoC can run at a slower frequency in some of the
+  islands" and "most of the high bandwidth flows are inside an
+  island");
+* the 26-island extreme is the most expensive point on the chart.
+
+This bench regenerates the two series and asserts those relations.
+"""
+
+from __future__ import annotations
+
+from conftest import ISLAND_COUNTS, write_result
+from repro.io.report import format_table
+
+
+def _rows(island_sweep):
+    rows = []
+    for n in ISLAND_COUNTS:
+        log = island_sweep[(n, "logical")]
+        com = island_sweep[(n, "communication")]
+        rows.append(
+            {
+                "islands": n,
+                "logical_mw": log.power_mw,
+                "communication_mw": com.power_mw,
+                "logical_converters": log.topology.num_converters(),
+                "communication_converters": com.topology.num_converters(),
+            }
+        )
+    return rows
+
+
+def test_fig2_power_vs_island_count(benchmark, island_sweep):
+    rows = benchmark.pedantic(_rows, args=(island_sweep,), rounds=1, iterations=1)
+    table = format_table(
+        rows,
+        title="Figure 2: island count vs NoC dynamic power (mW), d26_media",
+    )
+    print("\n" + table)
+    write_result("fig2_power", table, rows)
+
+    ref = rows[0]["logical_mw"]
+    assert rows[0]["logical_mw"] == rows[0]["communication_mw"]
+    # Paper shape: communication-based below the reference...
+    for r in rows[1:-1]:
+        assert r["communication_mw"] < ref
+    # ...logical partitioning above it for most island counts...
+    overheads = [r["logical_mw"] - ref for r in rows[1:-1]]
+    assert max(overheads) > 0
+    # ...and the 26-island point is the global maximum of both series.
+    last = rows[-1]
+    assert last["islands"] == 26
+    for r in rows[:-1]:
+        assert last["logical_mw"] >= r["logical_mw"]
+        assert last["communication_mw"] >= r["communication_mw"]

@@ -1,0 +1,55 @@
+"""Figure 3 — average zero-load latency vs voltage-island count.
+
+Paper (Section 5, Figure 3): "When packets cross the islands, a 4
+cycle delay is incurred on the voltage-frequency converters.  Thus,
+with increasing number of islands, the latencies increase."  The
+26-island point roughly doubles the 1-island reference.
+"""
+
+from __future__ import annotations
+
+from conftest import ISLAND_COUNTS, write_result
+from repro.io.report import format_table
+
+
+def _rows(island_sweep):
+    rows = []
+    for n in ISLAND_COUNTS:
+        log = island_sweep[(n, "logical")]
+        com = island_sweep[(n, "communication")]
+        rows.append(
+            {
+                "islands": n,
+                "logical_cycles": log.avg_latency_cycles,
+                "communication_cycles": com.avg_latency_cycles,
+                "logical_max": log.latency.max_cycles,
+                "communication_max": com.latency.max_cycles,
+            }
+        )
+    return rows
+
+
+def test_fig3_latency_vs_island_count(benchmark, island_sweep):
+    rows = benchmark.pedantic(_rows, args=(island_sweep,), rounds=1, iterations=1)
+    table = format_table(
+        rows,
+        title="Figure 3: island count vs average zero-load latency (cycles), d26_media",
+    )
+    print("\n" + table)
+    write_result("fig3_latency", table, rows)
+
+    # Latency rises from the reference to the 26-island extreme.
+    for series in ("logical_cycles", "communication_cycles"):
+        first, last = rows[0][series], rows[-1][series]
+        assert last > first
+        # 26-island point is the maximum of the series.
+        assert last == max(r[series] for r in rows)
+    # The multi-island points sit between reference and extreme with a
+    # broadly increasing trend (allowing small local dips, as in the
+    # paper's own figure).
+    log_series = [r["logical_cycles"] for r in rows]
+    assert log_series[-1] >= 6.0  # every flow pays >= one 4-cycle crossing
+    # Communication-based keeps more flows on-island: never slower than
+    # logical by more than one cycle at the same island count.
+    for r in rows:
+        assert r["communication_cycles"] <= r["logical_cycles"] + 1.0

@@ -1,0 +1,63 @@
+"""Figure 4 — synthesized topology for the 6-VI logical partitioning.
+
+The paper's Figure 4 is a drawing of the topology synthesized for the
+26-core SoC with 6 logical islands.  This bench regenerates that design
+point, exports it as Graphviz DOT (plus a structural summary table) and
+asserts the structural properties visible in the paper's figure:
+switches confined to islands, converters exactly on the island
+crossings, every core hanging off a same-island switch.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+from repro.arch.routing import hop_histogram
+from repro.arch.validate import audit_shutdown_safety
+from repro.io.dot import topology_to_dot
+from repro.io.report import format_table
+
+
+def _summarize(point):
+    topo = point.topology
+    rows = []
+    for isl in sorted({s.island for s in topo.switches.values()}):
+        switches = topo.island_switches(isl)
+        rows.append(
+            {
+                "island": "mid" if isl == -1 else isl,
+                "switches": len(switches),
+                "max_size": max(s.size for s in switches),
+                "freq_mhz": switches[0].freq_mhz,
+                "cores": len(topo.spec.cores_in_island(isl)) if isl >= 0 else 0,
+            }
+        )
+    return rows
+
+
+def test_fig4_topology_6vi_logical(benchmark, island_sweep):
+    point = island_sweep[(6, "logical")]
+    rows = benchmark.pedantic(_summarize, args=(point,), rounds=1, iterations=1)
+    topo = point.topology
+
+    table = format_table(
+        rows, title="Figure 4: topology, 6-VI logical partitioning (%s)" % point.label()
+    )
+    table += "\nlinks: %d (%d cross-island with converters)\n" % (
+        len(topo.sw_links()) + 2 * len(topo.nis),
+        topo.num_converters(),
+    )
+    table += "hop histogram (switches per route): %s\n" % hop_histogram(topo)
+    print("\n" + table)
+    path = write_result("fig4_topology", table, rows)
+
+    dot = topology_to_dot(topo)
+    with open(path.replace(".txt", ".dot"), "w") as f:
+        f.write(dot)
+
+    # Structural assertions matching the paper's figure:
+    assert audit_shutdown_safety(topo) == []
+    for core in topo.spec.core_names:
+        assert topo.switch_of_core(core).island == topo.spec.island_of(core)
+    for link in topo.sw_links():
+        assert link.converter == (link.src_island != link.dst_island)
+    assert len({s.island for s in topo.switches.values()} - {-1}) == 6

@@ -1,0 +1,75 @@
+"""Leakage-savings study — why the 3% overhead is worth paying.
+
+Section 5: "In many SoCs, the shutdown of cores can lead to large
+reduction in leakage power, leading to even 25% or more reduction in
+overall system power.  Thus, compared to the power savings achieved,
+the penalty incurred in the NoC design is negligible."
+
+This bench runs the mobile SoC's use-case scenario set against both
+the VI-aware topology and the VI-oblivious baseline, under the static
+(design-time-guarantee) gating policy, and tabulates per-use-case and
+time-weighted savings.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_CONFIG, write_result
+from repro import synthesize
+from repro.baseline.flat import synthesize_vi_oblivious
+from repro.baseline.checker import compare_shutdown_capability
+from repro.io.report import format_table, percent
+from repro.power.leakage import weighted_savings_fraction
+from repro.soc.benchmarks import mobile_soc_26
+from repro.soc.partitioning import logical_partitioning
+from repro.soc.usecases import use_cases_for
+
+
+def _run():
+    spec = logical_partitioning(mobile_soc_26(), 6)
+    spec = spec.with_vi_assignment(spec.vi_assignment, name="d26_media")
+    cases = use_cases_for(spec)
+    aware = synthesize(spec, config=BENCH_CONFIG).best_by_power()
+    oblivious = synthesize_vi_oblivious(spec, config=BENCH_CONFIG)
+    reports = compare_shutdown_capability(
+        aware.topology, oblivious.topology, cases
+    )
+    return cases, reports
+
+
+def test_leakage_savings_vs_baseline(benchmark):
+    cases, reports = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rows = []
+    for case in cases:
+        row = {"use_case": case.name, "time_share": percent(case.time_fraction)}
+        for label in ("vi_aware", "vi_oblivious"):
+            rep = reports[label].shutdown_reports[case.name]
+            row["%s_gated" % label] = len(rep.gated_islands)
+            row["%s_savings" % label] = percent(rep.savings_fraction)
+        rows.append(row)
+    w_aware = weighted_savings_fraction(
+        list(reports["vi_aware"].shutdown_reports.values()), cases
+    )
+    w_obl = weighted_savings_fraction(
+        list(reports["vi_oblivious"].shutdown_reports.values()), cases
+    )
+    table = format_table(
+        rows, title="Island shutdown savings by use case (static gating policy)"
+    )
+    table += "\naudit violations: vi_aware=%d, vi_oblivious=%d\n" % (
+        len(reports["vi_aware"].violations),
+        len(reports["vi_oblivious"].violations),
+    )
+    table += "time-weighted total-power savings: vi_aware=%s, vi_oblivious=%s\n" % (
+        percent(w_aware),
+        percent(w_obl),
+    )
+    table += "(paper: shutdown worth 25%+ of overall system power)\n"
+    print("\n" + table)
+    write_result("leakage_savings", table, rows)
+
+    # The paper's qualitative claims:
+    assert reports["vi_aware"].is_shutdown_safe
+    assert not reports["vi_oblivious"].is_shutdown_safe
+    assert w_aware > 0.20, "VI-aware weighted savings %.1f%%" % (100 * w_aware)
+    assert w_aware > 2.0 * w_obl, "VI-aware must decisively beat the baseline"

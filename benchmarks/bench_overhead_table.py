@@ -1,0 +1,80 @@
+"""Overhead table — the paper's headline cost numbers.
+
+Section 5: "For the different SoC benchmarks, we found that the
+topologies synthesized to support multiple VIs incur a 3% overhead on
+the total system's dynamic power.  We found that the area overhead is
+also negligible, with less than 0.5% increase in the total SoC area."
+
+This bench sweeps the whole built-in benchmark suite, synthesizes each
+design VI-aware (logical partitioning at a representative island count)
+and VI-oblivious (single island reference), and tabulates the SoC-level
+dynamic-power and area overheads.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_CONFIG, write_result
+from repro import synthesize
+from repro.io.report import format_table, percent
+from repro.power.soc_power import area_overhead_fraction, dynamic_overhead_fraction
+from repro.soc.benchmarks import benchmark_suite
+from repro.soc.partitioning import logical_partitioning
+
+#: Representative island count per benchmark (≈ its functional groups).
+ISLANDS = {"d12_auto": 4, "d16_net": 4, "d20_tele": 5, "d26_media": 6, "d38_media": 6}
+
+
+def _sweep_suite():
+    rows = []
+    for spec in benchmark_suite():
+        n = ISLANDS.get(spec.name, 4)
+        reference = synthesize(spec.single_island(), config=BENCH_CONFIG).best_by_power()
+        vi_aware = synthesize(
+            logical_partitioning(spec, n), config=BENCH_CONFIG
+        ).best_by_power()
+        dyn = dynamic_overhead_fraction(vi_aware.soc_power, reference.soc_power)
+        area = area_overhead_fraction(vi_aware.soc_power, reference.soc_power)
+        rows.append(
+            {
+                "benchmark": spec.name,
+                "islands": n,
+                "ref_noc_mw": reference.power_mw,
+                "vi_noc_mw": vi_aware.power_mw,
+                "soc_dyn_overhead": percent(dyn),
+                "soc_area_overhead": percent(area),
+                "_dyn": dyn,
+                "_area": area,
+            }
+        )
+    return rows
+
+
+def test_overhead_table_across_suite(benchmark):
+    rows = benchmark.pedantic(_sweep_suite, rounds=1, iterations=1)
+    cols = [
+        "benchmark",
+        "islands",
+        "ref_noc_mw",
+        "vi_noc_mw",
+        "soc_dyn_overhead",
+        "soc_area_overhead",
+    ]
+    avg_dyn = sum(r["_dyn"] for r in rows) / len(rows)
+    avg_area = sum(r["_area"] for r in rows) / len(rows)
+    table = format_table(
+        rows,
+        columns=cols,
+        title="Overhead of VI-shutdown support across the benchmark suite",
+    )
+    table += "\naverage SoC dynamic power overhead: %s (paper: ~3%%)\n" % percent(avg_dyn)
+    table += "average SoC area overhead: %s (paper: <0.5%%)\n" % percent(avg_area)
+    print("\n" + table)
+    write_result("overhead_table", table, rows, cols)
+
+    # Paper claims are averages across the suite.
+    assert avg_dyn < 0.05, "average dynamic overhead should be a few percent"
+    assert avg_area < 0.005, "average area overhead should be sub-percent"
+    # And no single benchmark explodes.
+    for r in rows:
+        assert r["_dyn"] < 0.10
+        assert r["_area"] < 0.01

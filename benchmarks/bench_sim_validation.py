@@ -1,0 +1,79 @@
+"""Validation — flit-level simulator vs the analytic zero-load model.
+
+The paper quotes analytically computed zero-load latencies.  We verify
+our implementation of that model against an independent discrete-event
+simulation of the same topologies (and, as an extension beyond the
+paper, measure how contention inflates latency as injection load
+rises toward the spec rates).
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+from repro.io.report import format_table
+from repro.sim.flit_sim import FlitSimConfig, simulate
+
+LOADS = [0.05, 0.25, 0.5, 1.0]
+
+
+def test_simulator_agrees_at_zero_load(benchmark, island_sweep):
+    point = island_sweep[(6, "logical")]
+
+    def run():
+        return simulate(
+            point.topology,
+            FlitSimConfig(single_packet=True, warmup_ns=0.0, sim_time_ns=1000.0),
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    err = report.worst_relative_error()
+    table = (
+        "Zero-load validation (single-packet mode), d26 6-VI logical\n"
+        "packets: %d, worst |sim - analytic| / analytic: %.2e\n" % (
+            report.packets_delivered, err)
+    )
+    print("\n" + table)
+    write_result("sim_validation_zeroload", table)
+    assert report.packets_delivered == len(point.topology.routes)
+    assert err < 1e-9, "simulator must reproduce the analytic model exactly"
+
+
+def test_contention_study_beyond_paper(benchmark, island_sweep):
+    point = island_sweep[(6, "logical")]
+
+    def sweep():
+        rows = []
+        for load in LOADS:
+            rep = simulate(
+                point.topology,
+                FlitSimConfig(
+                    load_factor=load,
+                    sim_time_ns=120_000.0,
+                    warmup_ns=12_000.0,
+                    arrival_process="poisson",
+                    seed=11,
+                ),
+            )
+            rows.append(
+                {
+                    "load_factor": load,
+                    "packets": rep.packets_delivered,
+                    "mean_latency_ns": rep.mean_latency_ns,
+                    "worst_flow_inflation": rep.worst_relative_error(),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        rows,
+        title="Extension: latency vs injection load (Poisson arrivals, d26 6-VI)",
+    )
+    print("\n" + table)
+    write_result("sim_contention", table, rows)
+
+    means = [r["mean_latency_ns"] for r in rows]
+    # Latency grows monotonically-ish with load; full load clearly
+    # exceeds the near-zero-load point.
+    assert means[-1] > means[0]
+    assert all(r["packets"] > 0 for r in rows)

@@ -1,0 +1,72 @@
+"""Shared infrastructure for the experiment benches.
+
+Every bench regenerates one artifact of the paper (a figure's data
+series or a text-table claim), prints it as an aligned table and writes
+it under ``benchmarks/results/`` so the numbers survive pytest's output
+capture.  Heavy sweeps are computed once per session and shared (the
+Figure 2 and Figure 3 benches read the same island-count sweep, exactly
+like the paper plots two views of one experiment).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro import DesignPoint, SynthesisConfig, synthesize
+from repro.io.report import format_table, save_csv
+from repro.soc.benchmarks import mobile_soc_26
+from repro.soc.partitioning import communication_partitioning, logical_partitioning
+
+#: Island counts on the x-axis of Figures 2 and 3.
+ISLAND_COUNTS = [1, 2, 3, 4, 5, 6, 7, 26]
+
+#: Synthesis config used by the benches: full algorithm, bounded
+#: intermediate-island sweep to keep the wall-clock sane.
+BENCH_CONFIG = SynthesisConfig(max_intermediate=2)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_result(name: str, table: str, rows=None, columns=None) -> str:
+    """Persist a bench's table (and optional CSV) under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name + ".txt")
+    with open(path, "w") as f:
+        f.write(table)
+    if rows:
+        save_csv(rows, os.path.join(RESULTS_DIR, name + ".csv"), columns)
+    return path
+
+
+SweepKey = Tuple[int, str]
+
+
+@pytest.fixture(scope="session")
+def island_sweep() -> Dict[SweepKey, DesignPoint]:
+    """Best-power design points for the Figure 2/3 sweep.
+
+    Keys are ``(island_count, strategy)`` with strategy in
+    ``{"logical", "communication"}``.
+    """
+    spec = mobile_soc_26()
+    results: Dict[SweepKey, DesignPoint] = {}
+    for n in ISLAND_COUNTS:
+        for strategy, fn in (
+            ("logical", logical_partitioning),
+            ("communication", communication_partitioning),
+        ):
+            part = fn(spec, n)
+            space = synthesize(part, config=BENCH_CONFIG)
+            results[(n, strategy)] = space.best_by_power()
+    return results
+
+
+@pytest.fixture(scope="session")
+def d26_reference() -> DesignPoint:
+    """The single-island reference design point of the 26-core SoC."""
+    spec = mobile_soc_26().single_island()
+    return synthesize(spec, config=BENCH_CONFIG).best_by_power()

@@ -1,0 +1,88 @@
+"""Bring your own SoC: specs from scratch and the intermediate island.
+
+Part 1 builds a small automotive-style SoC directly with the public
+API (CoreSpec / TrafficFlow / build_spec), islands it by hand, and
+synthesizes it.
+
+Part 2 shows the intermediate NoC island earning its keep: a
+hub-and-spoke design whose hub island is too fast (and hence too
+port-limited) for direct links to every satellite island.  Direct-only
+synthesis fails; allowing indirect switches in the never-gated
+intermediate island makes it feasible — Section 4's motivation,
+executable.
+
+Run:  python examples/custom_soc.py
+"""
+
+from repro import (
+    CoreSpec,
+    InfeasibleError,
+    SynthesisConfig,
+    TrafficFlow,
+    build_spec,
+    synthesize,
+)
+from repro.io.report import format_table
+from repro.soc.generator import hub_soc
+
+
+def part1_custom_spec() -> None:
+    cores = [
+        CoreSpec("cpu", area_mm2=3.0, dynamic_power_mw=150.0, leakage_power_mw=45.0,
+                 kind="cpu", group="compute"),
+        CoreSpec("sram", 2.0, 40.0, 40.0, "memory", "compute"),
+        CoreSpec("engine", 2.2, 110.0, 30.0, "accelerator", "compute"),
+        CoreSpec("radar_if", 0.8, 35.0, 8.0, "io", "sensing"),
+        CoreSpec("lidar_if", 0.9, 38.0, 9.0, "io", "sensing"),
+        CoreSpec("fusion", 1.5, 90.0, 22.0, "dsp", "sensing"),
+        CoreSpec("can", 0.4, 8.0, 2.0, "io", "body"),
+        CoreSpec("gpio", 0.3, 4.0, 1.5, "peripheral", "body"),
+    ]
+    flows = [
+        TrafficFlow("cpu", "sram", 480.0, latency_cycles=8.0),
+        TrafficFlow("sram", "cpu", 560.0, latency_cycles=8.0),
+        TrafficFlow("engine", "sram", 300.0, latency_cycles=10.0),
+        TrafficFlow("radar_if", "fusion", 200.0, latency_cycles=12.0),
+        TrafficFlow("lidar_if", "fusion", 260.0, latency_cycles=12.0),
+        TrafficFlow("fusion", "sram", 180.0, latency_cycles=12.0),
+        TrafficFlow("cpu", "fusion", 20.0, latency_cycles=20.0),
+        TrafficFlow("cpu", "can", 5.0, latency_cycles=30.0),
+        TrafficFlow("can", "gpio", 1.0, latency_cycles=40.0),
+    ]
+    islands = {
+        "cpu": 0, "sram": 0, "engine": 0,          # compute island
+        "radar_if": 1, "lidar_if": 1, "fusion": 1,  # sensing island
+        "can": 2, "gpio": 2,                        # always-on body island
+    }
+    spec = build_spec("my_adas_soc", cores, flows, islands)
+    space = synthesize(spec, config=SynthesisConfig(alpha=0.5))
+    print(format_table(space.summary_rows(), title="my_adas_soc design points"))
+    best = space.best_by_power()
+    print("chosen:", best.label(), "->", best.topology.summary())
+    print()
+
+
+def part2_intermediate_island() -> None:
+    spec = hub_soc()  # 1 memory hub + 24 satellites, 25 islands
+    print("hub24: %d cores in %d islands, %d flows" % (
+        len(spec.cores), spec.num_islands, len(spec.flows)))
+    try:
+        synthesize(spec, config=SynthesisConfig(allow_intermediate=False))
+        print("direct-only synthesis succeeded (unexpected for this design)")
+    except InfeasibleError:
+        print("direct-only synthesis: INFEASIBLE (hub switch would need "
+              "24 inter-island links but its clock only permits a 16-port switch)")
+    space = synthesize(
+        spec, config=SynthesisConfig(allow_intermediate=True, max_intermediate=3)
+    )
+    best = space.best_by_power()
+    print(
+        "with intermediate island: feasible, %d indirect switch(es), "
+        "%.1f mW, %.2f cycles average" % (
+            best.num_intermediate_used, best.power_mw, best.avg_latency_cycles)
+    )
+
+
+if __name__ == "__main__":
+    part1_custom_spec()
+    part2_intermediate_island()

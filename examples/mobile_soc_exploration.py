@@ -1,0 +1,73 @@
+"""Design-space exploration of the 26-core mobile SoC (Figures 2 & 3).
+
+Reproduces the paper's island-count sweep: for 1..7 and 26 voltage
+islands, under both logical and communication-based partitioning,
+synthesize the NoC and report the best-power design point's dynamic
+power and average zero-load latency.  Then prints the full
+power/latency Pareto front for one configuration, which is the
+trade-off curve the paper lets the designer choose from.
+
+Run:  python examples/mobile_soc_exploration.py
+"""
+
+from repro import SynthesisConfig, mobile_soc_26, synthesize
+from repro.io.report import format_table
+from repro.soc.partitioning import communication_partitioning, logical_partitioning
+
+
+def sweep() -> None:
+    spec = mobile_soc_26()
+    rows = []
+    for n in (1, 2, 3, 4, 5, 6, 7, 26):
+        row = {"islands": n}
+        for label, strategy in (
+            ("logical", logical_partitioning),
+            ("comm", communication_partitioning),
+        ):
+            part = strategy(spec, n)
+            best = synthesize(
+                part, config=SynthesisConfig(max_intermediate=1)
+            ).best_by_power()
+            row["%s_power_mw" % label] = best.power_mw
+            row["%s_latency_cyc" % label] = best.avg_latency_cycles
+        rows.append(row)
+    print(
+        format_table(
+            rows,
+            title="Island-count sweep, d26_media (Figure 2 = power columns, "
+            "Figure 3 = latency columns)",
+        )
+    )
+    ref = rows[0]["logical_power_mw"]
+    comm_best = min(r["comm_power_mw"] for r in rows[1:-1])
+    print(
+        "communication-based partitioning beats the 1-island reference by "
+        "%.0f%% at its best point" % (100 * (1 - comm_best / ref))
+    )
+
+
+def pareto() -> None:
+    spec = logical_partitioning(mobile_soc_26(), 6)
+    space = synthesize(spec, config=SynthesisConfig(max_intermediate=2))
+    front = space.pareto_front()
+    rows = [
+        {
+            "point": p.label(),
+            "power_mw": p.power_mw,
+            "latency_cyc": p.avg_latency_cycles,
+            "switches": p.total_switches,
+        }
+        for p in front
+    ]
+    print(
+        format_table(
+            rows,
+            title="Power/latency Pareto front at 6 logical islands "
+            "(%d of %d points non-dominated)" % (len(front), len(space)),
+        )
+    )
+
+
+if __name__ == "__main__":
+    sweep()
+    pareto()

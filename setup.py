@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP 517 build isolation.
+
+All real metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` on machines without the ``wheel``
+package (e.g. offline containers).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,119 @@
+"""repro — voltage-island-aware NoC topology synthesis.
+
+A production-quality reproduction of
+
+    C. Seiculescu, S. Murali, L. Benini, G. De Micheli,
+    "NoC Topology Synthesis for Supporting Shutdown of Voltage Islands
+    in SoCs", Proc. DAC 2009.
+
+Quick start::
+
+    from repro import mobile_soc_26, synthesize, SynthesisConfig
+
+    spec = mobile_soc_26()                       # 26-core mobile SoC
+    space = synthesize(spec)                     # Algorithm 1
+    best = space.best_by_power()
+    print(best.label(), best.power_mw, "mW", best.avg_latency_cycles, "cycles")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure and table.
+"""
+
+from .core.design_point import DesignPoint, DesignSpace
+from .core.explore import (
+    SweepRecord,
+    alpha_exploration,
+    data_width_exploration,
+    island_count_exploration,
+)
+from .core.frequency import IslandPlan, plan_all_islands
+from .core.partition import partition_graph
+from .core.paths import AllocationResult, PathCostConfig, allocate_paths
+from .core.spec import CoreSpec, SoCSpec, TrafficFlow, build_spec
+from .core.synthesis import SynthesisConfig, synthesize
+from .core.vcg import VCG, build_all_vcgs, build_global_vcg, build_vcg
+from .arch.topology import INTERMEDIATE_ISLAND, Topology
+from .arch.validate import audit_shutdown_safety, validate_topology
+from .exceptions import (
+    FloorplanError,
+    InfeasibleError,
+    PartitionError,
+    ReproError,
+    SpecError,
+    SynthesisError,
+    ValidationError,
+)
+from .floorplan.placer import Floorplan, FloorplanConfig, place
+from .power.gating import GatingModel, break_even_time_ms, island_gating_cost
+from .power.leakage import ShutdownReport, analyze_shutdown
+from .power.library import DEFAULT_LIBRARY, NocLibrary
+from .power.voltage import VoltageTable, voltage_aware_noc_power
+from .power.noc_power import NocPower, compute_noc_power, noc_area_mm2
+from .power.soc_power import SocPower, compute_soc_power
+from .sim.scenarios import UseCase, make_use_case
+from .sim.zero_load import LatencyReport, evaluate_latency
+from .soc.benchmarks import benchmark_suite, mobile_soc_26
+from .soc.partitioning import communication_partitioning, logical_partitioning
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationResult",
+    "CoreSpec",
+    "DEFAULT_LIBRARY",
+    "DesignPoint",
+    "DesignSpace",
+    "Floorplan",
+    "FloorplanConfig",
+    "FloorplanError",
+    "GatingModel",
+    "SweepRecord",
+    "VoltageTable",
+    "alpha_exploration",
+    "break_even_time_ms",
+    "data_width_exploration",
+    "island_count_exploration",
+    "island_gating_cost",
+    "voltage_aware_noc_power",
+    "INTERMEDIATE_ISLAND",
+    "InfeasibleError",
+    "IslandPlan",
+    "LatencyReport",
+    "NocLibrary",
+    "NocPower",
+    "PartitionError",
+    "PathCostConfig",
+    "ReproError",
+    "ShutdownReport",
+    "SoCSpec",
+    "SocPower",
+    "SpecError",
+    "SynthesisConfig",
+    "SynthesisError",
+    "Topology",
+    "TrafficFlow",
+    "UseCase",
+    "VCG",
+    "ValidationError",
+    "allocate_paths",
+    "analyze_shutdown",
+    "audit_shutdown_safety",
+    "benchmark_suite",
+    "build_all_vcgs",
+    "build_global_vcg",
+    "build_spec",
+    "build_vcg",
+    "communication_partitioning",
+    "compute_noc_power",
+    "compute_soc_power",
+    "evaluate_latency",
+    "logical_partitioning",
+    "make_use_case",
+    "mobile_soc_26",
+    "noc_area_mm2",
+    "partition_graph",
+    "place",
+    "plan_all_islands",
+    "synthesize",
+    "validate_topology",
+]

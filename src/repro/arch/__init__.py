@@ -1,0 +1,7 @@
+"""NoC architecture model and structural analyses.
+
+Modules: the topology container (`topology`), route tables and channel
+dependency graphs (`routing`), structural validation with the
+shutdown-safety audit (`validate`) and CDG cycle remediation
+(`deadlock`).
+"""

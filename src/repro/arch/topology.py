@@ -1,0 +1,376 @@
+"""NoC architecture model: switches, NIs, links and topologies.
+
+The synthesized artifact is a :class:`Topology`:
+
+* every core gets a :class:`NetworkInterface` (NI) that converts the
+  core's protocol and clock to the island NoC clock (Section 3.1);
+* each voltage island contains one or more :class:`Switch` es, all
+  clocked at the island frequency (locally synchronous);
+* an optional *intermediate NoC island* — identified by
+  :data:`INTERMEDIATE_ISLAND` — hosts indirect switches that are never
+  shut down;
+* :class:`Link` s connect NIs to switches and switches to switches.  A
+  link whose endpoints sit in different islands carries an implicit
+  bi-synchronous FIFO voltage/frequency converter, costing 4 cycles and
+  extra power (Sections 3.1, 5).
+
+The topology is built incrementally by the path allocator and then
+consumed read-mostly by floorplanning, power analysis, validation,
+simulation and export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.spec import SoCSpec, TrafficFlow
+from ..exceptions import ValidationError
+from ..power.library import NocLibrary
+
+#: Island id of the intermediate (never-gated) NoC island.
+INTERMEDIATE_ISLAND = -1
+
+FlowKey = Tuple[str, str]
+
+
+def switch_id(island: int, index: int) -> str:
+    """Canonical switch component id, e.g. ``"sw2.1"`` or ``"swM.0"``."""
+    tag = "M" if island == INTERMEDIATE_ISLAND else str(island)
+    return "sw%s.%d" % (tag, index)
+
+
+def ni_id(core_name: str) -> str:
+    """Canonical NI component id for a core."""
+    return "ni.%s" % core_name
+
+
+@dataclass
+class Switch:
+    """A NoC switch (router) inside one island.
+
+    Port counts are derived from the attached links and maintained by
+    :class:`Topology`; ``size`` is ``max(n_in, n_out)`` — the quantity
+    the crossbar timing model constrains.
+    """
+
+    id: str
+    island: int
+    freq_mhz: float
+    n_in: int = 0
+    n_out: int = 0
+
+    @property
+    def size(self) -> int:
+        """Ports per direction as constrained by ``max_sw_size``."""
+        return max(self.n_in, self.n_out)
+
+    @property
+    def is_intermediate(self) -> bool:
+        """True for indirect switches in the intermediate NoC island."""
+        return self.island == INTERMEDIATE_ISLAND
+
+
+@dataclass
+class NetworkInterface:
+    """The NI attaching one core to its island's NoC."""
+
+    id: str
+    core: str
+    island: int
+    freq_mhz: float
+
+
+@dataclass
+class Link:
+    """A unidirectional physical link between two NoC components.
+
+    A link whose endpoints sit in different islands normally carries a
+    bi-synchronous FIFO at the receiving end; ``has_converter`` can
+    override that derivation for reinterpreted topologies (the
+    VI-oblivious baseline labels islands post-hoc on a single-clock
+    design that physically has no converters).  ``length_mm`` is filled
+    in by the floorplanner (0.0 before placement).  ``flows`` lists the
+    traffic routed over this link with its bandwidth so capacity and
+    energy can be computed.
+    """
+
+    id: int
+    src: str
+    dst: str
+    src_island: int
+    dst_island: int
+    freq_mhz: float
+    capacity_mbps: float
+    kind: str  # "ni2sw" | "sw2ni" | "sw2sw"
+    length_mm: float = 0.0
+    flows: List[Tuple[FlowKey, float]] = field(default_factory=list)
+    #: None = derive from islands; True/False = explicit override.
+    has_converter: Optional[bool] = None
+
+    @property
+    def crosses_islands(self) -> bool:
+        """True if the endpoints live in different voltage islands."""
+        return self.src_island != self.dst_island
+
+    @property
+    def converter(self) -> bool:
+        """True if a bi-synchronous FIFO sits on this link."""
+        if self.has_converter is None:
+            return self.crosses_islands
+        return self.has_converter
+
+    @property
+    def used_mbps(self) -> float:
+        """Bandwidth already routed over this link."""
+        return sum(bw for _, bw in self.flows)
+
+    @property
+    def residual_mbps(self) -> float:
+        """Remaining capacity."""
+        return self.capacity_mbps - self.used_mbps
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of capacity in use (0..1)."""
+        if self.capacity_mbps <= 0:
+            return 0.0
+        return self.used_mbps / self.capacity_mbps
+
+
+@dataclass(frozen=True)
+class Route:
+    """The path of one traffic flow through the topology.
+
+    ``components`` runs source NI, switches..., destination NI;
+    ``links`` holds the link ids joining consecutive components.
+    """
+
+    flow: FlowKey
+    components: Tuple[str, ...]
+    links: Tuple[int, ...]
+
+    @property
+    def num_switches(self) -> int:
+        """Number of switches on the path (components minus the two NIs)."""
+        return len(self.components) - 2
+
+
+class Topology:
+    """A synthesized NoC: components, links and flow routes.
+
+    Parameters
+    ----------
+    spec:
+        The SoC specification this topology serves.
+    library:
+        Technology library used for capacities and (later) power.
+    island_freqs:
+        Clock of every island's NoC domain, including
+        :data:`INTERMEDIATE_ISLAND` when an intermediate island exists.
+    """
+
+    def __init__(
+        self,
+        spec: SoCSpec,
+        library: NocLibrary,
+        island_freqs: Mapping[int, float],
+    ) -> None:
+        self.spec = spec
+        self.library = library
+        self.island_freqs: Dict[int, float] = dict(island_freqs)
+        self.switches: Dict[str, Switch] = {}
+        self.nis: Dict[str, NetworkInterface] = {}
+        self.links: Dict[int, Link] = {}
+        self.routes: Dict[FlowKey, Route] = {}
+        self.core_switch: Dict[str, str] = {}
+        self._next_link_id = 0
+        # (src component, dst component) -> link ids, kept in insertion
+        # order; lets the path allocator look up candidate links in O(1).
+        self._links_by_pair: Dict[Tuple[str, str], List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_switch(self, island: int, index: int) -> Switch:
+        """Create a switch in ``island`` clocked at the island frequency."""
+        sid = switch_id(island, index)
+        if sid in self.switches:
+            raise ValidationError("duplicate switch id %r" % sid)
+        if island not in self.island_freqs:
+            raise ValidationError("no frequency planned for island %r" % island)
+        sw = Switch(id=sid, island=island, freq_mhz=self.island_freqs[island])
+        self.switches[sid] = sw
+        return sw
+
+    def attach_core(self, core_name: str, sw: Switch) -> NetworkInterface:
+        """Attach a core to a switch through a new NI (two links).
+
+        The NI lives in the core's island; attaching a core to a switch
+        of a *different* island is rejected — Section 3.1 mandates that
+        "cores in a VI are connected to switches in the same VI".
+        """
+        island = self.spec.island_of(core_name)
+        if sw.island != island:
+            raise ValidationError(
+                "core %r (island %d) may not attach to switch %s (island %d)"
+                % (core_name, island, sw.id, sw.island)
+            )
+        nid = ni_id(core_name)
+        if nid in self.nis:
+            raise ValidationError("core %r already attached" % core_name)
+        ni = NetworkInterface(
+            id=nid, core=core_name, island=island, freq_mhz=sw.freq_mhz
+        )
+        self.nis[nid] = ni
+        self.core_switch[core_name] = sw.id
+        self._add_link(nid, sw.id, island, sw.island, "ni2sw")
+        self._add_link(sw.id, nid, sw.island, island, "sw2ni")
+        return ni
+
+    def open_link(self, src_sw: str, dst_sw: str) -> Link:
+        """Open a new switch-to-switch link (possibly a parallel one)."""
+        a = self.switches[src_sw]
+        b = self.switches[dst_sw]
+        return self._add_link(a.id, b.id, a.island, b.island, "sw2sw")
+
+    def _add_link(self, src: str, dst: str, src_island: int, dst_island: int, kind: str) -> Link:
+        freq = min(self.island_freqs[src_island], self.island_freqs[dst_island])
+        link = Link(
+            id=self._next_link_id,
+            src=src,
+            dst=dst,
+            src_island=src_island,
+            dst_island=dst_island,
+            freq_mhz=freq,
+            capacity_mbps=self.library.link_capacity_mbps(freq),
+            kind=kind,
+        )
+        self.links[link.id] = link
+        self._next_link_id += 1
+        self._links_by_pair.setdefault((src, dst), []).append(link.id)
+        # NI-side ports are implicit (an NI always has exactly 1 in and
+        # 1 out); only switch port counts are tracked for the size bound.
+        if kind in ("ni2sw", "sw2sw"):
+            self.switches[dst].n_in += 1
+        if kind in ("sw2ni", "sw2sw"):
+            self.switches[src].n_out += 1
+        return link
+
+    def assign_route(self, flow: TrafficFlow, links: Sequence[int]) -> Route:
+        """Record the route of ``flow`` over the given link sequence.
+
+        Verifies link continuity, endpoint correctness and capacity,
+        then charges the flow's bandwidth to every link on the path.
+        """
+        if flow.key in self.routes:
+            raise ValidationError("flow %s->%s already routed" % flow.key)
+        if not links:
+            raise ValidationError("empty route for flow %s->%s" % flow.key)
+        comps: List[str] = [self.links[links[0]].src]
+        for lid in links:
+            link = self.links[lid]
+            if link.src != comps[-1]:
+                raise ValidationError(
+                    "discontinuous route for flow %s->%s at link %d" % (flow.src, flow.dst, lid)
+                )
+            comps.append(link.dst)
+        if comps[0] != ni_id(flow.src) or comps[-1] != ni_id(flow.dst):
+            raise ValidationError(
+                "route for flow %s->%s does not join its NIs" % flow.key
+            )
+        for lid in links:
+            link = self.links[lid]
+            if link.residual_mbps < flow.bandwidth_mbps - 1e-9:
+                raise ValidationError(
+                    "link %d over capacity for flow %s->%s" % (lid, flow.src, flow.dst)
+                )
+        for lid in links:
+            self.links[lid].flows.append((flow.key, flow.bandwidth_mbps))
+        route = Route(flow=flow.key, components=tuple(comps), links=tuple(links))
+        self.routes[flow.key] = route
+        return route
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def switch_of_core(self, core_name: str) -> Switch:
+        """The switch a core's NI attaches to."""
+        try:
+            return self.switches[self.core_switch[core_name]]
+        except KeyError:
+            raise ValidationError("core %r is not attached to any switch" % core_name)
+
+    def island_switches(self, island: int) -> List[Switch]:
+        """Switches of one island, sorted by id."""
+        return sorted(
+            (s for s in self.switches.values() if s.island == island),
+            key=lambda s: s.id,
+        )
+
+    @property
+    def intermediate_switches(self) -> List[Switch]:
+        """Indirect switches in the intermediate NoC island."""
+        return self.island_switches(INTERMEDIATE_ISLAND)
+
+    @property
+    def has_intermediate_island(self) -> bool:
+        """True when an intermediate NoC island was instantiated."""
+        return bool(self.intermediate_switches)
+
+    def sw_links(self) -> List[Link]:
+        """All switch-to-switch links."""
+        return [l for l in self.links.values() if l.kind == "sw2sw"]
+
+    def links_between(self, src_sw: str, dst_sw: str) -> List[Link]:
+        """Existing (possibly parallel) links from ``src_sw`` to ``dst_sw``."""
+        ids = self._links_by_pair.get((src_sw, dst_sw), [])
+        return [self.links[i] for i in ids if self.links[i].kind == "sw2sw"]
+
+    def link_between(self, src: str, dst: str) -> Optional[Link]:
+        """The first link from ``src`` to ``dst`` of any kind, if present."""
+        ids = self._links_by_pair.get((src, dst), [])
+        return self.links[ids[0]] if ids else None
+
+    def num_converters(self) -> int:
+        """Count of bi-synchronous FIFOs (one per island-crossing link)."""
+        return sum(1 for l in self.links.values() if l.converter)
+
+    def route_crossings(self, flow_key: FlowKey) -> int:
+        """Island crossings (converter traversals) on a flow's route."""
+        route = self.routes[flow_key]
+        return sum(1 for lid in route.links if self.links[lid].crosses_islands)
+
+    def route_switches(self, flow_key: FlowKey) -> List[Switch]:
+        """Switch objects along a flow's route, in order."""
+        route = self.routes[flow_key]
+        return [self.switches[c] for c in route.components if c in self.switches]
+
+    def islands_touched(self, flow_key: FlowKey) -> Set[int]:
+        """Islands whose switches appear on a flow's route."""
+        return {s.island for s in self.route_switches(flow_key)}
+
+    def component_island(self, comp_id: str) -> int:
+        """Island of any component id (switch or NI)."""
+        if comp_id in self.switches:
+            return self.switches[comp_id].island
+        if comp_id in self.nis:
+            return self.nis[comp_id].island
+        raise ValidationError("unknown component %r" % comp_id)
+
+    def summary(self) -> str:
+        """One-line human description of the topology."""
+        n_direct = len([s for s in self.switches.values() if not s.is_intermediate])
+        n_mid = len(self.intermediate_switches)
+        return (
+            "%d switches (+%d intermediate), %d links (%d cross-island), %d flows routed"
+            % (
+                n_direct,
+                n_mid,
+                len(self.links),
+                self.num_converters(),
+                len(self.routes),
+            )
+        )

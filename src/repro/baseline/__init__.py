@@ -1,0 +1,6 @@
+"""The VI-oblivious comparator.
+
+Modules: flat synthesis + island remapping (`flat`) and the shutdown
+feasibility checker (`checker`) that demonstrates the paper's negative
+result on it.
+"""

@@ -1,0 +1,231 @@
+"""Command-line interface: ``repro-noc``.
+
+Subcommands
+-----------
+
+``list``
+    Show the built-in SoC benchmarks.
+``synth``
+    Synthesize one benchmark at a given island count and partitioning
+    strategy; print the design space and optionally export the best
+    design point (DOT topology, SVG floorplan, JSON).
+``sweep``
+    Island-count sweep over both partitioning strategies (the data
+    behind Figures 2 and 3), as a table or CSV.
+``shutdown``
+    Shutdown-capability comparison: VI-aware vs VI-oblivious baseline
+    across the benchmark's use cases (the leakage-savings story).
+
+Examples::
+
+    repro-noc list
+    repro-noc synth d26_media --islands 6 --strategy logical --dot topo.dot
+    repro-noc sweep d26_media --counts 1,2,3,4,5,6,7,26 --csv fig2.csv
+    repro-noc shutdown d26_media --islands 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .baseline.checker import compare_shutdown_capability
+from .baseline.flat import synthesize_vi_oblivious
+from .core.synthesis import SynthesisConfig, synthesize
+from .exceptions import ReproError
+from .io.dot import save_dot
+from .io.floorplan_art import floorplan_to_ascii, save_floorplan_svg
+from .io.json_io import design_point_summary, save_topology
+from .io.report import format_table, percent, save_csv
+from .power.leakage import weighted_savings_fraction
+from .soc.benchmarks import BENCHMARKS, load_benchmark
+from .soc.partitioning import communication_partitioning, logical_partitioning
+from .soc.usecases import use_cases_for
+
+
+def _partitioned(name: str, islands: int, strategy: str):
+    spec = load_benchmark(name)
+    if strategy == "logical":
+        out = logical_partitioning(spec, islands)
+    elif strategy == "communication":
+        out = communication_partitioning(spec, islands)
+    else:
+        raise ReproError("unknown strategy %r" % strategy)
+    # Keep the original name so curated use cases still apply.
+    return out.with_vi_assignment(out.vi_assignment, name=spec.name)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(BENCHMARKS):
+        spec = load_benchmark(name)
+        rows.append(
+            {
+                "benchmark": name,
+                "cores": len(spec.cores),
+                "flows": len(spec.flows),
+                "total_bw_mbps": spec.total_flow_bandwidth_mbps,
+                "core_power_mw": spec.total_core_dynamic_power_mw,
+                "area_mm2": spec.total_core_area_mm2,
+            }
+        )
+    print(format_table(rows, title="built-in benchmarks"), end="")
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    spec = _partitioned(args.benchmark, args.islands, args.strategy)
+    config = SynthesisConfig(
+        alpha=args.alpha,
+        allow_intermediate=not args.no_intermediate,
+        seed=args.seed,
+    )
+    space = synthesize(spec, config=config)
+    print(
+        format_table(
+            space.summary_rows(),
+            title="%s, %d islands (%s partitioning): %d design points"
+            % (args.benchmark, args.islands, args.strategy, len(space)),
+        ),
+        end="",
+    )
+    best = space.best_by_power()
+    print("\nbest by power: %s" % best.label())
+    for key, val in sorted(design_point_summary(best).items()):
+        print("  %-24s %s" % (key, val))
+    if args.dot:
+        save_dot(best.topology, args.dot)
+        print("wrote %s" % args.dot)
+    if args.svg:
+        save_floorplan_svg(best.floorplan, args.svg, best.topology)
+        print("wrote %s" % args.svg)
+    if args.json:
+        save_topology(best.topology, args.json)
+        print("wrote %s" % args.json)
+    if args.ascii_floorplan:
+        print(floorplan_to_ascii(best.floorplan, best.topology))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    counts = [int(c) for c in args.counts.split(",")]
+    rows = []
+    for strategy in ("logical", "communication"):
+        for n in counts:
+            spec = _partitioned(args.benchmark, n, strategy)
+            space = synthesize(spec, config=SynthesisConfig(seed=args.seed))
+            best = space.best_by_power()
+            rows.append(
+                {
+                    "islands": n,
+                    "strategy": strategy,
+                    "noc_power_mw": best.power_mw,
+                    "avg_latency_cycles": best.avg_latency_cycles,
+                    "switches": best.total_switches,
+                    "converters": best.topology.num_converters(),
+                    "design_points": len(space),
+                }
+            )
+    print(format_table(rows, title="island-count sweep: %s" % args.benchmark), end="")
+    if args.csv:
+        save_csv(rows, args.csv)
+        print("wrote %s" % args.csv)
+    return 0
+
+
+def _cmd_shutdown(args: argparse.Namespace) -> int:
+    spec = _partitioned(args.benchmark, args.islands, args.strategy)
+    cases = use_cases_for(spec)
+    aware = synthesize(spec, config=SynthesisConfig(seed=args.seed)).best_by_power()
+    oblivious = synthesize_vi_oblivious(spec, config=SynthesisConfig(seed=args.seed))
+    reports = compare_shutdown_capability(aware.topology, oblivious.topology, cases)
+    for label in ("vi_aware", "vi_oblivious"):
+        rep = reports[label]
+        rows = []
+        for case in cases:
+            gated, blocked = rep.per_use_case[case.name]
+            sr = rep.shutdown_reports[case.name]
+            rows.append(
+                {
+                    "use_case": case.name,
+                    "gated": ",".join(map(str, gated)) or "-",
+                    "blocked": ",".join(map(str, blocked)) or "-",
+                    "power_mw": sr.power_gated_mw,
+                    "savings": percent(sr.savings_fraction),
+                }
+            )
+        w = weighted_savings_fraction(list(rep.shutdown_reports.values()), cases)
+        print(
+            format_table(
+                rows,
+                title="%s (%d audit violations, weighted savings %s)"
+                % (label, len(rep.violations), percent(w)),
+            )
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-noc`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-noc",
+        description="Voltage-island-aware NoC topology synthesis (DAC'09 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list built-in benchmarks")
+    p_list.set_defaults(func=_cmd_list)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("benchmark", help="benchmark name (see `list`)")
+        p.add_argument("--islands", type=int, default=4, help="voltage island count")
+        p.add_argument(
+            "--strategy",
+            choices=("logical", "communication"),
+            default="logical",
+            help="island assignment strategy",
+        )
+        p.add_argument("--seed", type=int, default=0, help="deterministic seed")
+
+    p_synth = sub.add_parser("synth", help="synthesize one design")
+    common(p_synth)
+    p_synth.add_argument("--alpha", type=float, default=0.6, help="VCG weight alpha")
+    p_synth.add_argument(
+        "--no-intermediate", action="store_true", help="forbid the intermediate NoC island"
+    )
+    p_synth.add_argument("--dot", help="write best topology as Graphviz DOT")
+    p_synth.add_argument("--svg", help="write best floorplan as SVG")
+    p_synth.add_argument("--json", help="write best topology as JSON")
+    p_synth.add_argument(
+        "--ascii-floorplan", action="store_true", help="print ASCII floorplan"
+    )
+    p_synth.set_defaults(func=_cmd_synth)
+
+    p_sweep = sub.add_parser("sweep", help="island-count sweep (Fig. 2/3 data)")
+    p_sweep.add_argument("benchmark")
+    p_sweep.add_argument("--counts", default="1,2,3,4,5,6,7", help="comma-separated island counts")
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument("--csv", help="also write rows as CSV")
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_shut = sub.add_parser("shutdown", help="shutdown capability vs baseline")
+    common(p_shut)
+    p_shut.set_defaults(func=_cmd_shutdown)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro-noc`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

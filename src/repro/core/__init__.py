@@ -1,0 +1,8 @@
+"""The paper's contribution: VI-aware NoC topology synthesis.
+
+Modules: problem spec (`spec`), VI communication graphs (`vcg`),
+island frequency planning (`frequency`), k-way min-cut partitioning
+(`partition`), least-cost path allocation (`paths`), the Algorithm-1
+driver (`synthesis`), design points (`design_point`) and DSE sweeps
+(`explore`).
+"""

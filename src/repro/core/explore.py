@@ -1,0 +1,172 @@
+"""Design-space exploration drivers.
+
+One level above :func:`repro.core.synthesis.synthesize`: structured
+sweeps over the knobs a system architect actually turns — island count
+and assignment strategy (the paper's Figures 2/3 axis), the VCG weight
+``alpha``, and the link data width.  Each sweep returns plain records
+so benches, examples and notebooks share one implementation instead of
+re-rolling loops.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import InfeasibleError, SpecError
+from ..power.library import DEFAULT_LIBRARY, NocLibrary
+from ..soc.partitioning import communication_partitioning, logical_partitioning
+from .design_point import DesignPoint, DesignSpace
+from .spec import SoCSpec
+from .synthesis import SynthesisConfig, synthesize
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One point of a sweep: the knob values plus the chosen design."""
+
+    knobs: Mapping[str, object]
+    point: Optional[DesignPoint]
+    design_points: int
+    elapsed_s: float
+    failure: Optional[str] = None
+
+    @property
+    def feasible(self) -> bool:
+        return self.point is not None
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for :func:`repro.io.report.format_table`."""
+        out: Dict[str, object] = dict(self.knobs)
+        if self.point is not None:
+            out.update(
+                {
+                    "noc_power_mw": round(self.point.power_mw, 2),
+                    "avg_latency_cycles": round(self.point.avg_latency_cycles, 2),
+                    "switches": self.point.total_switches,
+                    "converters": self.point.topology.num_converters(),
+                }
+            )
+        else:
+            out.update({"noc_power_mw": "infeasible"})
+        out["design_points"] = self.design_points
+        out["seconds"] = round(self.elapsed_s, 3)
+        return out
+
+
+def _run_one(
+    spec: SoCSpec,
+    library: NocLibrary,
+    config: SynthesisConfig,
+    knobs: Mapping[str, object],
+    select: Callable[[DesignSpace], DesignPoint],
+) -> SweepRecord:
+    t0 = time.perf_counter()
+    try:
+        space = synthesize(spec, library, config)
+        point = select(space)
+        return SweepRecord(
+            knobs=dict(knobs),
+            point=point,
+            design_points=len(space),
+            elapsed_s=time.perf_counter() - t0,
+        )
+    except InfeasibleError as exc:
+        return SweepRecord(
+            knobs=dict(knobs),
+            point=None,
+            design_points=0,
+            elapsed_s=time.perf_counter() - t0,
+            failure=str(exc),
+        )
+
+
+def island_count_exploration(
+    spec: SoCSpec,
+    counts: Sequence[int],
+    strategies: Sequence[str] = ("logical", "communication"),
+    library: NocLibrary = DEFAULT_LIBRARY,
+    config: Optional[SynthesisConfig] = None,
+    select: Callable[[DesignSpace], DesignPoint] = DesignSpace.best_by_power,
+) -> List[SweepRecord]:
+    """The Figures 2/3 sweep: island count x assignment strategy."""
+    cfg = config or SynthesisConfig(max_intermediate=1)
+    records = []
+    for strategy in strategies:
+        if strategy == "logical":
+            partition = logical_partitioning
+        elif strategy == "communication":
+            partition = communication_partitioning
+        else:
+            raise SpecError("unknown strategy %r" % strategy)
+        for n in counts:
+            part = partition(spec, n)
+            records.append(
+                _run_one(
+                    part,
+                    library,
+                    cfg,
+                    {"islands": n, "strategy": strategy},
+                    select,
+                )
+            )
+    return records
+
+
+def alpha_exploration(
+    spec: SoCSpec,
+    alphas: Sequence[float],
+    library: NocLibrary = DEFAULT_LIBRARY,
+    config: Optional[SynthesisConfig] = None,
+    select: Callable[[DesignSpace], DesignPoint] = DesignSpace.best_by_power,
+) -> List[SweepRecord]:
+    """Sweep the Definition-1 weight between bandwidth and latency."""
+    cfg = config or SynthesisConfig(max_intermediate=1)
+    records = []
+    for alpha in alphas:
+        records.append(
+            _run_one(
+                spec,
+                library,
+                dataclasses.replace(cfg, alpha=alpha),
+                {"alpha": alpha},
+                select,
+            )
+        )
+    return records
+
+
+def data_width_exploration(
+    spec: SoCSpec,
+    widths: Sequence[int],
+    library: NocLibrary = DEFAULT_LIBRARY,
+    config: Optional[SynthesisConfig] = None,
+    select: Callable[[DesignSpace], DesignPoint] = DesignSpace.best_by_power,
+) -> List[SweepRecord]:
+    """Sweep the NoC link data width ("could be varied in a range")."""
+    cfg = config or SynthesisConfig(max_intermediate=1)
+    records = []
+    for width in widths:
+        if width <= 0:
+            raise SpecError("link width must be positive, got %r" % width)
+        lib = dataclasses.replace(library, data_width_bits=width)
+        records.append(
+            _run_one(spec, lib, cfg, {"width_bits": width}, select)
+        )
+    return records
+
+
+def pareto_records(space: DesignSpace) -> List[Dict[str, object]]:
+    """The (power, latency) Pareto front as table rows."""
+    return [
+        {
+            "point": p.label(),
+            "noc_power_mw": round(p.power_mw, 2),
+            "avg_latency_cycles": round(p.avg_latency_cycles, 2),
+            "switches": p.total_switches,
+            "intermediate": p.num_intermediate_used,
+        }
+        for p in space.pareto_front()
+    ]

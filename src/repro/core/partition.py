@@ -1,0 +1,426 @@
+"""Weighted k-way min-cut graph partitioning.
+
+Step 11 of Algorithm 1 performs "k min-cut partitions of VCG(V, E, j)":
+cores that communicate heavily (or under tight latency constraints) end
+up in the same partition and therefore share a switch, which cuts both
+power and hop count.
+
+This module implements the classic EDA recipe the 2009-era tools used:
+
+* **recursive bisection** to go from 2-way to k-way, splitting target
+  sizes proportionally so non-power-of-two ``k`` works;
+* a **Fiduccia–Mattheyses (FM) style refinement** on each bisection —
+  single-node moves ordered by gain, with a balance constraint, taking
+  the best prefix of the move sequence (allowing hill-climbing out of
+  local minima);
+* deterministic, seeded tie-breaking so synthesis results are
+  reproducible run to run.
+
+The graph is undirected with non-negative edge weights; callers
+symmetrize directed communication graphs first (see
+:func:`repro.core.vcg.symmetric_weights`).
+
+A greedy agglomerative variant (:func:`partition_graph` with
+``method="greedy"``) is included as an ablation hook (DESIGN.md item 6.1).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..exceptions import PartitionError
+
+Node = Hashable
+Weights = Mapping[Tuple[Node, Node], float]
+Adjacency = Dict[Node, Dict[Node, float]]
+
+
+def build_adjacency(nodes: Iterable[Node], weights: Weights) -> Adjacency:
+    """Build a symmetric adjacency map from an edge-weight mapping.
+
+    Both ``(u, v)`` and ``(v, u)`` entries are accepted; weights for the
+    same unordered pair accumulate.  Self-loops are ignored (they never
+    affect a cut).
+    """
+    adj: Adjacency = {n: {} for n in nodes}
+    for (u, v), w in weights.items():
+        if u == v:
+            continue
+        if u not in adj or v not in adj:
+            raise PartitionError("edge (%r, %r) references unknown node" % (u, v))
+        if w < 0:
+            raise PartitionError("edge (%r, %r) has negative weight %r" % (u, v, w))
+        adj[u][v] = adj[u].get(v, 0.0) + w
+        adj[v][u] = adj[v].get(u, 0.0) + w
+    return adj
+
+
+def cut_weight(adj: Adjacency, parts: Sequence[Set[Node]]) -> float:
+    """Total weight of edges crossing between different parts.
+
+    Each undirected edge is counted once.
+    """
+    owner: Dict[Node, int] = {}
+    for i, part in enumerate(parts):
+        for n in part:
+            owner[n] = i
+    total = 0.0
+    seen: Set[FrozenSet[Node]] = set()
+    for u, nbrs in adj.items():
+        for v, w in nbrs.items():
+            key = frozenset((u, v))
+            if key in seen:
+                continue
+            seen.add(key)
+            if owner.get(u) != owner.get(v):
+                total += w
+    return total
+
+
+def partition_graph(
+    nodes: Sequence[Node],
+    weights: Weights,
+    k: int,
+    max_part_size: Optional[int] = None,
+    seed: int = 0,
+    method: str = "fm",
+) -> List[Set[Node]]:
+    """Partition ``nodes`` into ``k`` parts minimizing the cut weight.
+
+    Parameters
+    ----------
+    nodes:
+        The vertex set (order matters only for deterministic
+        tie-breaking).
+    weights:
+        Edge weights; directed duplicates are symmetrized.
+    k:
+        Number of parts.  Must satisfy ``1 <= k <= len(nodes)``.
+    max_part_size:
+        Upper bound on any part's cardinality (the paper's
+        ``max_sw_size`` constraint: a switch cannot host more cores than
+        it has ports).  ``None`` means unbounded.
+    seed:
+        Seed for tie-breaking; identical inputs and seeds give
+        identical outputs.
+    method:
+        ``"fm"`` (recursive bisection + FM refinement, default) or
+        ``"greedy"`` (agglomerative merging, ablation baseline).
+
+    Returns
+    -------
+    list of sets
+        Exactly ``k`` non-empty, disjoint sets covering ``nodes``,
+        sorted by their smallest member for determinism.
+    """
+    node_list = list(nodes)
+    n = len(node_list)
+    if k < 1:
+        raise PartitionError("part count must be >= 1, got %d" % k)
+    if k > n:
+        raise PartitionError("cannot split %d nodes into %d non-empty parts" % (n, k))
+    if len(set(node_list)) != n:
+        raise PartitionError("duplicate nodes in partition input")
+    if max_part_size is not None:
+        if max_part_size < 1:
+            raise PartitionError("max_part_size must be >= 1, got %d" % max_part_size)
+        if k * max_part_size < n:
+            raise PartitionError(
+                "%d parts of <= %d nodes cannot cover %d nodes" % (k, max_part_size, n)
+            )
+    if method not in ("fm", "greedy"):
+        raise PartitionError("unknown partition method %r" % method)
+    adj = build_adjacency(node_list, weights)
+    if k == 1:
+        return [set(node_list)]
+    if k == n:
+        return sorted(({x} for x in node_list), key=_part_sort_key)
+    rng = random.Random(seed)
+    if method == "fm":
+        parts = _recursive_bisect(node_list, adj, k, max_part_size, rng)
+    else:
+        parts = _greedy_agglomerate(node_list, adj, k, max_part_size)
+    parts = [set(p) for p in parts if p]
+    if len(parts) != k:
+        raise PartitionError(
+            "internal error: produced %d parts, expected %d" % (len(parts), k)
+        )
+    return sorted(parts, key=_part_sort_key)
+
+
+def _part_sort_key(part: Set[Node]) -> str:
+    return min(str(x) for x in part)
+
+
+# ----------------------------------------------------------------------
+# Recursive bisection
+# ----------------------------------------------------------------------
+
+
+def _recursive_bisect(
+    nodes: List[Node],
+    adj: Adjacency,
+    k: int,
+    max_part_size: Optional[int],
+    rng: random.Random,
+) -> List[Set[Node]]:
+    """Split ``nodes`` into ``k`` parts by repeated balanced bisection."""
+    if k == 1:
+        return [set(nodes)]
+    n = len(nodes)
+    k_left = k // 2
+    k_right = k - k_left
+    # Target sizes proportional to part counts, adjusted to remain
+    # coverable under the per-part size bound on both sides.
+    target_left = int(round(n * k_left / float(k)))
+    target_left = max(k_left, min(n - k_right, target_left))
+    if max_part_size is not None:
+        # Each side must be able to hold its nodes within its parts.
+        target_left = min(target_left, k_left * max_part_size)
+        target_left = max(target_left, n - k_right * max_part_size)
+    left, right = _bisect(nodes, adj, target_left, rng)
+    sub_adj_left = _induced(adj, left)
+    sub_adj_right = _induced(adj, right)
+    out = _recursive_bisect(sorted(left, key=str), sub_adj_left, k_left, max_part_size, rng)
+    out += _recursive_bisect(sorted(right, key=str), sub_adj_right, k_right, max_part_size, rng)
+    return out
+
+
+def _induced(adj: Adjacency, keep: Set[Node]) -> Adjacency:
+    """Adjacency restricted to ``keep`` nodes."""
+    return {
+        u: {v: w for v, w in nbrs.items() if v in keep}
+        for u, nbrs in adj.items()
+        if u in keep
+    }
+
+
+def _bisect(
+    nodes: List[Node],
+    adj: Adjacency,
+    target_left: int,
+    rng: random.Random,
+) -> Tuple[Set[Node], Set[Node]]:
+    """Two-way partition with ``target_left`` nodes on the left side.
+
+    Seeding: grow the left side greedily from the highest-connectivity
+    node, always absorbing the frontier node with the strongest ties to
+    the current left side (a BFS flavoured by weight).  Refinement: FM
+    passes until no improving prefix exists.
+    """
+    n = len(nodes)
+    if target_left <= 0 or target_left >= n:
+        raise PartitionError(
+            "bisection target %d out of range for %d nodes" % (target_left, n)
+        )
+    order = sorted(nodes, key=lambda u: (-_strength(adj, u), str(u)))
+    seed_node = order[0]
+    left: Set[Node] = {seed_node}
+    # Greedy weighted growth.
+    gain: Dict[Node, float] = {}
+    for v, w in adj[seed_node].items():
+        gain[v] = gain.get(v, 0.0) + w
+    while len(left) < target_left:
+        candidates = [u for u in nodes if u not in left]
+        if not candidates:
+            break
+        best = max(candidates, key=lambda u: (gain.get(u, 0.0), -_index_of(order, u)))
+        left.add(best)
+        for v, w in adj[best].items():
+            if v not in left:
+                gain[v] = gain.get(v, 0.0) + w
+        gain.pop(best, None)
+    right = set(nodes) - left
+    left, right = _fm_refine(nodes, adj, left, right, target_left, rng)
+    return left, right
+
+
+def _index_of(order: List[Node], u: Node) -> int:
+    return order.index(u)
+
+
+def _strength(adj: Adjacency, u: Node) -> float:
+    return sum(adj[u].values())
+
+
+def _fm_refine(
+    nodes: List[Node],
+    adj: Adjacency,
+    left: Set[Node],
+    right: Set[Node],
+    target_left: int,
+    rng: random.Random,
+    max_passes: int = 8,
+    balance_slack: int = 1,
+) -> Tuple[Set[Node], Set[Node]]:
+    """Fiduccia–Mattheyses refinement of a bisection.
+
+    Repeats passes of tentative single-node moves (each node moved at
+    most once per pass, always the highest-gain feasible move) and
+    commits the best prefix, until a pass yields no improvement.
+
+    ``balance_slack`` lets the left side deviate from ``target_left`` by
+    at most that many nodes, which gives FM room to climb out of local
+    minima without destroying the size targets the recursion needs.
+    """
+    n = len(nodes)
+    lo = max(1, target_left - balance_slack)
+    hi = min(n - 1, target_left + balance_slack)
+
+    def side(u: Node, L: Set[Node]) -> bool:
+        return u in L
+
+    for _ in range(max_passes):
+        L = set(left)
+        R = set(right)
+        locked: Set[Node] = set()
+        # gain(u) = (external weight) - (internal weight)
+        gains: Dict[Node, float] = {}
+        for u in nodes:
+            internal = external = 0.0
+            u_left = side(u, L)
+            for v, w in adj[u].items():
+                if side(v, L) == u_left:
+                    internal += w
+                else:
+                    external += w
+            gains[u] = external - internal
+        moves: List[Node] = []
+        cum_gain: List[float] = []
+        total = 0.0
+        while len(locked) < n:
+            best_u = None
+            best_gain = -math.inf
+            for u in nodes:
+                if u in locked:
+                    continue
+                new_left_size = len(L) + (1 if u in R else -1)
+                if not (lo <= new_left_size <= hi):
+                    continue
+                g = gains[u]
+                if g > best_gain or (g == best_gain and str(u) < str(best_u)):
+                    best_gain = g
+                    best_u = u
+            if best_u is None:
+                break
+            # Apply the tentative move and update neighbour gains.
+            u = best_u
+            if u in L:
+                L.remove(u)
+                R.add(u)
+            else:
+                R.remove(u)
+                L.add(u)
+            locked.add(u)
+            total += gains[u]
+            moves.append(u)
+            cum_gain.append(total)
+            gains[u] = -gains[u]
+            u_left = u in L
+            for v, w in adj[u].items():
+                if v in locked:
+                    continue
+                if (v in L) == u_left:
+                    gains[v] -= 2 * w
+                else:
+                    gains[v] += 2 * w
+        if not moves:
+            break
+        best_prefix = max(range(len(moves)), key=lambda i: (cum_gain[i], -i))
+        if cum_gain[best_prefix] <= 1e-12:
+            break  # no improving prefix: converged
+        # Commit moves[0..best_prefix] starting from the original sides.
+        L2, R2 = set(left), set(right)
+        for u in moves[: best_prefix + 1]:
+            if u in L2:
+                L2.remove(u)
+                R2.add(u)
+            else:
+                R2.remove(u)
+                L2.add(u)
+        left, right = L2, R2
+    # Restore the exact target size if slack left us off-target: move
+    # the cheapest boundary nodes.
+    left, right = _rebalance(adj, left, right, target_left)
+    return left, right
+
+
+def _rebalance(
+    adj: Adjacency, left: Set[Node], right: Set[Node], target_left: int
+) -> Tuple[Set[Node], Set[Node]]:
+    """Move lowest-cost nodes until ``len(left) == target_left``."""
+    left, right = set(left), set(right)
+    while len(left) != target_left:
+        if len(left) > target_left:
+            src, dst = left, right
+        else:
+            src, dst = right, left
+
+        def move_cost(u: Node) -> float:
+            internal = sum(w for v, w in adj[u].items() if v in src)
+            external = sum(w for v, w in adj[u].items() if v in dst)
+            return internal - external  # lower = cheaper to move
+
+        u = min(sorted(src, key=str), key=move_cost)
+        src.remove(u)
+        dst.add(u)
+    return left, right
+
+
+# ----------------------------------------------------------------------
+# Greedy agglomerative variant (ablation baseline)
+# ----------------------------------------------------------------------
+
+
+def _greedy_agglomerate(
+    nodes: List[Node],
+    adj: Adjacency,
+    k: int,
+    max_part_size: Optional[int],
+) -> List[Set[Node]]:
+    """Merge the heaviest-connected cluster pair until ``k`` remain.
+
+    Simpler and usually worse than FM; kept as a comparison point for
+    the partitioner ablation.
+    """
+    clusters: List[Set[Node]] = [{u} for u in sorted(nodes, key=str)]
+
+    def inter_weight(a: Set[Node], b: Set[Node]) -> float:
+        return sum(adj[u].get(v, 0.0) for u in a for v in b)
+
+    while len(clusters) > k:
+        best_pair = None
+        best_w = -1.0
+        for i in range(len(clusters)):
+            for j in range(i + 1, len(clusters)):
+                if max_part_size is not None:
+                    if len(clusters[i]) + len(clusters[j]) > max_part_size:
+                        continue
+                w = inter_weight(clusters[i], clusters[j])
+                if w > best_w:
+                    best_w = w
+                    best_pair = (i, j)
+        if best_pair is None:
+            # Size bound blocks every merge; merge the two smallest that
+            # fit, or fail if really impossible.
+            sizes = sorted(range(len(clusters)), key=lambda i: (len(clusters[i]), str(min(map(str, clusters[i])))))
+            merged = False
+            for a in range(len(sizes)):
+                for b in range(a + 1, len(sizes)):
+                    i, j = sizes[a], sizes[b]
+                    if max_part_size is None or len(clusters[i]) + len(clusters[j]) <= max_part_size:
+                        best_pair = (min(i, j), max(i, j))
+                        merged = True
+                        break
+                if merged:
+                    break
+            if not merged:
+                raise PartitionError(
+                    "size bound %r makes %d-way agglomeration impossible" % (max_part_size, k)
+                )
+        i, j = best_pair
+        clusters[i] = clusters[i] | clusters[j]
+        del clusters[j]
+    return clusters

@@ -1,0 +1,525 @@
+"""Least-cost path allocation for inter-switch traffic (step 15).
+
+Given the core-to-switch assignment of one design point and a number of
+indirect switches in the intermediate NoC island, this module connects
+the switches and routes every traffic flow:
+
+* flows are processed in **decreasing bandwidth order** ("Choose flows
+  in bandwidth order and find the paths");
+* for each flow a Dijkstra search over the allowed switch graph picks
+  the cheapest mix of **reusing existing links** and **opening new
+  ones**; the edge cost is "a linear combination of the power
+  consumption increase in opening a new link or reusing an existing
+  link and the latency constraint of the flow";
+* link opening respects the per-island **maximum switch size** (ports
+  per direction) and the **shutdown-safety rule**: for a flow from
+  island *a* to island *b*, only switches in *a*, *b* or the
+  intermediate island may appear on the path, and new links may only
+  run within *a*, within *b*, from *a* to *b*, or to/between/from
+  intermediate switches;
+* after routing, a flow whose zero-load latency exceeds its budget
+  triggers a latency-greedy re-route; if that still violates, the
+  design point is infeasible.
+
+The allocator mutates a fresh :class:`~repro.arch.topology.Topology`
+and reports success or the first unroutable flow.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .. import units
+from ..arch.topology import (
+    INTERMEDIATE_ISLAND,
+    FlowKey,
+    Link,
+    Switch,
+    Topology,
+    ni_id,
+)
+from ..exceptions import SynthesisError
+from ..power.library import NocLibrary
+from ..sim.zero_load import link_latency_cycles
+from .frequency import IslandPlan, intermediate_island_freq_mhz
+from .spec import SoCSpec, TrafficFlow
+
+
+@dataclass(frozen=True)
+class PathCostConfig:
+    """Knobs of the link-cost linear combination.
+
+    ``latency_cost_mw_per_cycle`` converts cycles into the power-cost
+    unit so the two objectives combine linearly; the per-flow latency
+    pressure scales it by ``min_lat / lat_flow`` (tight flows feel
+    latency more, mirroring the Definition 1 weighting).
+    """
+
+    #: Weight (mW per cycle) of the latency term in the edge cost.
+    latency_cost_mw_per_cycle: float = 0.40
+    #: Assumed wire length of an intra-island link before floorplanning.
+    nominal_intra_link_mm: float = 1.5
+    #: Assumed wire length of a cross-island link before floorplanning.
+    nominal_cross_link_mm: float = 4.0
+    #: Multiplier on the static (idle + leakage) cost of opening links.
+    open_cost_weight: float = 1.0
+    #: Allow opening parallel links between the same switch pair when
+    #: the first link saturates.
+    allow_parallel_links: bool = True
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of path allocation for one design point."""
+
+    topology: Optional[Topology]
+    success: bool
+    failed_flow: Optional[FlowKey] = None
+    reason: Optional[str] = None
+    links_opened: int = 0
+    flows_via_intermediate: int = 0
+
+    def require_topology(self) -> Topology:
+        """Return the topology, raising if allocation failed."""
+        if not self.success or self.topology is None:
+            raise SynthesisError(
+                "allocation failed (%s) — no topology" % (self.reason or "unknown")
+            )
+        return self.topology
+
+
+# Edge in the Dijkstra search: either reuse an existing link or open a
+# new one between two switches.
+_REUSE = "reuse"
+_OPEN = "open"
+
+
+def allocate_paths(
+    spec: SoCSpec,
+    library: NocLibrary,
+    plans: Mapping[int, IslandPlan],
+    partitions: Mapping[int, Sequence[Set[str]]],
+    num_intermediate: int = 0,
+    cost_config: Optional[PathCostConfig] = None,
+) -> AllocationResult:
+    """Build a topology for one design point and route every flow.
+
+    Greedy bandwidth-ordered allocation can exhaust a switch's ports on
+    direct inter-island links and then have no port left to reach the
+    intermediate island (the hub-and-spoke failure mode).  When that
+    happens and indirect switches are available, the allocation retries
+    with 1 then 2 ports per switch *reserved* for indirect
+    connectivity — direct cross-island link opening is constrained to
+    leave that headroom.
+
+    Parameters
+    ----------
+    spec:
+        The SoC specification.
+    library:
+        Technology library.
+    plans:
+        Per-island frequency/size plans from
+        :func:`repro.core.frequency.plan_all_islands`.
+    partitions:
+        For every island, the list of core groups sharing a switch
+        (output of min-cut partitioning, step 11).
+    num_intermediate:
+        Number of indirect switches to instantiate in the intermediate
+        NoC island (step 14 sweeps this; 0 disables the island).
+    cost_config:
+        Cost-function knobs; defaults to :class:`PathCostConfig`.
+    """
+    reserves = (0, 1, 2) if num_intermediate > 0 else (0,)
+    result = None
+    for reserve in reserves:
+        result = _allocate_once(
+            spec, library, plans, partitions, num_intermediate, cost_config, reserve
+        )
+        if result.success:
+            return result
+    return result
+
+
+def _allocate_once(
+    spec: SoCSpec,
+    library: NocLibrary,
+    plans: Mapping[int, IslandPlan],
+    partitions: Mapping[int, Sequence[Set[str]]],
+    num_intermediate: int,
+    cost_config: Optional[PathCostConfig],
+    port_reserve: int,
+) -> AllocationResult:
+    """One allocation attempt with a fixed port reservation."""
+    cfg = cost_config or PathCostConfig()
+    island_freqs = {isl: plan.freq_mhz for isl, plan in plans.items()}
+    if num_intermediate > 0:
+        island_freqs[INTERMEDIATE_ISLAND] = intermediate_island_freq_mhz(plans)
+    topo = Topology(spec, library, island_freqs)
+
+    max_sizes: Dict[int, int] = {isl: plan.max_switch_size for isl, plan in plans.items()}
+    if num_intermediate > 0:
+        max_sizes[INTERMEDIATE_ISLAND] = library.max_switch_size_for_freq(
+            island_freqs[INTERMEDIATE_ISLAND]
+        )
+
+    # -- instantiate switches and attach cores -------------------------
+    for isl in sorted(partitions):
+        for idx, group in enumerate(partitions[isl]):
+            if not group:
+                raise SynthesisError("empty core group in island %r" % isl)
+            if len(group) > max_sizes[isl]:
+                return AllocationResult(
+                    topology=None,
+                    success=False,
+                    reason="group of %d cores exceeds max switch size %d in island %d"
+                    % (len(group), max_sizes[isl], isl),
+                )
+            sw = topo.add_switch(isl, idx)
+            for core in sorted(group):
+                topo.attach_core(core, sw)
+    for idx in range(num_intermediate):
+        topo.add_switch(INTERMEDIATE_ISLAND, idx)
+
+    # -- route flows in decreasing bandwidth order ----------------------
+    min_lat = spec.min_latency_cycles
+    ordered = sorted(
+        spec.flows,
+        key=lambda f: (-f.bandwidth_mbps, f.latency_cycles, f.key),
+    )
+    links_opened = 0
+    via_mid = 0
+    for flow in ordered:
+        sw_src = topo.switch_of_core(flow.src)
+        sw_dst = topo.switch_of_core(flow.dst)
+        ni_src_link = _ni_link(topo, ni_id(flow.src), sw_src.id)
+        ni_dst_link = _ni_link(topo, sw_dst.id, ni_id(flow.dst))
+        if sw_src.id == sw_dst.id:
+            # Same switch: NI -> switch -> NI, one switch traversal.
+            topo.assign_route(flow, [ni_src_link.id, ni_dst_link.id])
+            continue
+        pressure = min_lat / flow.latency_cycles if flow.latency_cycles > 0 else 1.0
+        path = _search(topo, flow, sw_src, sw_dst, max_sizes, cfg, pressure, port_reserve)
+        if path is None:
+            return AllocationResult(
+                topology=None,
+                success=False,
+                failed_flow=flow.key,
+                reason="no feasible switch path for flow %s->%s" % flow.key,
+                links_opened=links_opened,
+            )
+        # Latency check against the flow budget; the NI links are free,
+        # each switch costs 1 cycle and each hop its link cycles.
+        latency = _path_latency(topo, path, library)
+        if latency > flow.latency_cycles + 1e-9:
+            path2 = _search(
+                topo,
+                flow,
+                sw_src,
+                sw_dst,
+                max_sizes,
+                cfg,
+                pressure,
+                port_reserve,
+                latency_only=True,
+            )
+            if path2 is not None:
+                lat2 = _path_latency(topo, path2, library)
+                if lat2 < latency:
+                    path, latency = path2, lat2
+            if latency > flow.latency_cycles + 1e-9:
+                return AllocationResult(
+                    topology=None,
+                    success=False,
+                    failed_flow=flow.key,
+                    reason="latency %d exceeds budget %.1f for flow %s->%s"
+                    % (latency, flow.latency_cycles, flow.src, flow.dst),
+                    links_opened=links_opened,
+                )
+        link_ids = [ni_src_link.id]
+        touched_mid = False
+        for hop in path:
+            if hop.action == _OPEN:
+                link = topo.open_link(hop.src_sw, hop.dst_sw)
+                links_opened += 1
+            else:
+                link = topo.links[hop.link_id]
+            link_ids.append(link.id)
+            if topo.switches[hop.dst_sw].is_intermediate:
+                touched_mid = True
+        link_ids.append(ni_dst_link.id)
+        topo.assign_route(flow, link_ids)
+        if touched_mid:
+            via_mid += 1
+
+    _prune_unused_intermediate(topo)
+    return AllocationResult(
+        topology=topo,
+        success=True,
+        links_opened=links_opened,
+        flows_via_intermediate=via_mid,
+    )
+
+
+# ----------------------------------------------------------------------
+# Search internals
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Hop:
+    """One switch-to-switch move in a candidate path."""
+
+    src_sw: str
+    dst_sw: str
+    action: str  # _REUSE or _OPEN
+    link_id: int = -1  # valid when action == _REUSE
+
+
+def _allowed_transition(
+    src_island: int, dst_island: int, isl_a: int, isl_b: int
+) -> bool:
+    """Shutdown-safety transition rule for a flow from ``isl_a`` to ``isl_b``.
+
+    Permitted directed moves: within the source island, within the
+    destination island, source -> destination, source -> intermediate,
+    intermediate -> intermediate, intermediate -> destination.  This is
+    exactly the "directly across the source and destination VIs or to
+    the switches in the intermediate NoC island" rule, and it also makes
+    the search graph a DAG across islands (no ping-pong between
+    islands, which could never reduce cost).
+    """
+    mid = INTERMEDIATE_ISLAND
+    if src_island == isl_a:
+        return dst_island in (isl_a, isl_b, mid) if isl_a != isl_b else dst_island == isl_a
+    if src_island == mid:
+        return dst_island in (mid, isl_b)
+    if src_island == isl_b:
+        return dst_island == isl_b
+    return False
+
+
+def _candidate_switches(topo: Topology, isl_a: int, isl_b: int) -> List[Switch]:
+    """Switches a flow from island ``isl_a`` to ``isl_b`` may traverse."""
+    allowed_islands = {isl_a, isl_b, INTERMEDIATE_ISLAND}
+    return [s for s in topo.switches.values() if s.island in allowed_islands]
+
+
+def _can_open(
+    topo: Topology,
+    u: Switch,
+    v: Switch,
+    max_sizes: Mapping[int, int],
+    port_reserve: int = 0,
+) -> bool:
+    """Would opening a link u->v keep both switches within size bounds?
+
+    ``port_reserve`` ports are withheld from *direct* cross-island
+    links (both endpoints outside the intermediate island) so that the
+    switch keeps headroom to reach indirect switches later.
+    """
+    new_u = max(u.n_in, u.n_out + 1)
+    new_v = max(v.n_in + 1, v.n_out)
+    lim_u = max_sizes[u.island]
+    lim_v = max_sizes[v.island]
+    if (
+        port_reserve
+        and u.island != v.island
+        and not u.is_intermediate
+        and not v.is_intermediate
+    ):
+        lim_u -= port_reserve
+        lim_v -= port_reserve
+    return new_u <= lim_u and new_v <= lim_v
+
+
+def _edge_static_open_cost(
+    topo: Topology, u: Switch, v: Switch, cfg: PathCostConfig
+) -> float:
+    """Static power cost (mW) of opening a new link u->v.
+
+    Counts the incremental idle power of the two new switch ports, the
+    converter if the link crosses islands, and the leakage of the new
+    wire at its nominal pre-floorplan length.
+    """
+    lib = topo.library
+    crossing = u.island != v.island
+    length = cfg.nominal_cross_link_mm if crossing else cfg.nominal_intra_link_mm
+    # One new output port on u and one new input port on v.
+    static = lib.switch_idle_mw_per_mhz_per_port * (u.freq_mhz + v.freq_mhz)
+    static += 2.0 * lib.switch_leak_mw_per_port
+    # A previously unconnected switch (fresh intermediate) also brings
+    # its fixed clock-tree and leakage floor online.
+    if u.n_in == 0 and u.n_out == 0:
+        static += lib.switch_idle_mw_per_mhz_base * u.freq_mhz + lib.switch_leak_mw_base
+    if v.n_in == 0 and v.n_out == 0:
+        static += lib.switch_idle_mw_per_mhz_base * v.freq_mhz + lib.switch_leak_mw_base
+    static += lib.link_leakage_mw(length)
+    if crossing:
+        static += lib.fifo_idle_power_mw(u.freq_mhz, v.freq_mhz) + lib.fifo_leakage_mw()
+    return static
+
+
+def _edge_traffic_cost(
+    topo: Topology, flow: TrafficFlow, u: Switch, v: Switch, cfg: PathCostConfig
+) -> float:
+    """Dynamic power (mW) the flow adds on link u->v plus switch v."""
+    lib = topo.library
+    crossing = u.island != v.island
+    length = cfg.nominal_cross_link_mm if crossing else cfg.nominal_intra_link_mm
+    ebit = lib.link_ebit_pj(length)
+    ebit += lib.switch_ebit_pj(max(v.n_in, 1), max(v.n_out, 1))
+    if crossing:
+        ebit += lib.fifo_ebit_pj
+    return units.traffic_power_mw(flow.bandwidth_mbps, ebit)
+
+
+def _edge_latency_cycles(topo: Topology, u: Switch, v: Switch) -> int:
+    """Cycles one hop adds: the link plus the downstream switch."""
+    lib = topo.library
+    link_cycles = lib.fifo_crossing_cycles if u.island != v.island else lib.link_traversal_cycles
+    return link_cycles + lib.switch_traversal_cycles
+
+
+def _search(
+    topo: Topology,
+    flow: TrafficFlow,
+    sw_src: Switch,
+    sw_dst: Switch,
+    max_sizes: Mapping[int, int],
+    cfg: PathCostConfig,
+    pressure: float,
+    port_reserve: int = 0,
+    latency_only: bool = False,
+) -> Optional[List[_Hop]]:
+    """Dijkstra over the allowed switch graph; returns hops or None.
+
+    ``latency_only`` ignores power and minimizes pure hop latency —
+    used as the fallback when the cheapest path misses the flow's
+    latency budget.
+    """
+    isl_a = sw_src.island
+    isl_b = sw_dst.island
+    candidates = {s.id: s for s in _candidate_switches(topo, isl_a, isl_b)}
+    dist: Dict[str, float] = {sw_src.id: 0.0}
+    prev: Dict[str, _Hop] = {}
+    heap: List[Tuple[float, str]] = [(0.0, sw_src.id)]
+    visited: Set[str] = set()
+    while heap:
+        d, uid = heapq.heappop(heap)
+        if uid in visited:
+            continue
+        visited.add(uid)
+        if uid == sw_dst.id:
+            break
+        u = candidates[uid]
+        for vid, v in candidates.items():
+            if vid == uid or vid in visited:
+                continue
+            if not _allowed_transition(u.island, v.island, isl_a, isl_b):
+                continue
+            hop = _best_edge(
+                topo, flow, u, v, max_sizes, cfg, pressure, port_reserve, latency_only
+            )
+            if hop is None:
+                continue
+            cost, candidate_hop = hop
+            nd = d + cost
+            if nd < dist.get(vid, float("inf")) - 1e-12:
+                dist[vid] = nd
+                prev[vid] = candidate_hop
+                heapq.heappush(heap, (nd, vid))
+    if sw_dst.id not in prev and sw_dst.id != sw_src.id:
+        return None
+    # Reconstruct hops back from the destination.
+    hops: List[_Hop] = []
+    cur = sw_dst.id
+    while cur != sw_src.id:
+        hop = prev[cur]
+        hops.append(hop)
+        cur = hop.src_sw
+    hops.reverse()
+    return hops
+
+
+def _best_edge(
+    topo: Topology,
+    flow: TrafficFlow,
+    u: Switch,
+    v: Switch,
+    max_sizes: Mapping[int, int],
+    cfg: PathCostConfig,
+    pressure: float,
+    port_reserve: int,
+    latency_only: bool,
+) -> Optional[Tuple[float, _Hop]]:
+    """Cheapest way (reuse or open) to move the flow from u to v."""
+    lat_cycles = _edge_latency_cycles(topo, u, v)
+    lat_cost = cfg.latency_cost_mw_per_cycle * lat_cycles * pressure
+    best: Optional[Tuple[float, _Hop]] = None
+    # Reuse an existing link with enough residual capacity.
+    for link in topo.links_between(u.id, v.id):
+        if link.residual_mbps + 1e-9 < flow.bandwidth_mbps:
+            continue
+        if latency_only:
+            cost = float(lat_cycles)
+        else:
+            cost = _edge_traffic_cost(topo, flow, u, v, cfg) + lat_cost
+        hop = _Hop(src_sw=u.id, dst_sw=v.id, action=_REUSE, link_id=link.id)
+        if best is None or cost < best[0]:
+            best = (cost, hop)
+        break  # links between a pair are interchangeable; first fits
+    # Open a new link (subject to size bounds and parallel-link policy).
+    existing = topo.links_between(u.id, v.id)
+    may_parallel = cfg.allow_parallel_links or not existing
+    if may_parallel and _can_open(topo, u, v, max_sizes, port_reserve):
+        capacity = topo.library.link_capacity_mbps(min(u.freq_mhz, v.freq_mhz))
+        if capacity + 1e-9 >= flow.bandwidth_mbps:
+            if latency_only:
+                cost = float(lat_cycles) + 1e-6  # prefer reuse on ties
+            else:
+                cost = (
+                    _edge_traffic_cost(topo, flow, u, v, cfg)
+                    + cfg.open_cost_weight * _edge_static_open_cost(topo, u, v, cfg)
+                    + lat_cost
+                )
+            hop = _Hop(src_sw=u.id, dst_sw=v.id, action=_OPEN)
+            if best is None or cost < best[0]:
+                best = (cost, hop)
+    return best
+
+
+def _path_latency(topo: Topology, path: List[_Hop], library: NocLibrary) -> int:
+    """Zero-load latency (cycles) of a candidate hop sequence.
+
+    Mirrors :mod:`repro.sim.zero_load` accounting: source switch + per
+    hop (link + downstream switch); NI links are free.
+    """
+    cycles = library.switch_traversal_cycles
+    for hop in path:
+        u = topo.switches[hop.src_sw]
+        v = topo.switches[hop.dst_sw]
+        cycles += _edge_latency_cycles(topo, u, v)
+    return cycles
+
+
+def _ni_link(topo: Topology, src: str, dst: str) -> Link:
+    """The unique NI attachment link from ``src`` to ``dst``."""
+    link = topo.link_between(src, dst)
+    if link is None or link.kind not in ("ni2sw", "sw2ni"):
+        raise SynthesisError("missing NI link %s -> %s" % (src, dst))
+    return link
+
+
+def _prune_unused_intermediate(topo: Topology) -> None:
+    """Drop intermediate switches that ended up with no links.
+
+    Step 14 sweeps the indirect switch count; path allocation may leave
+    some of them unconnected, and an unconnected switch would only add
+    idle power and area for nothing.
+    """
+    for sw in list(topo.intermediate_switches):
+        if sw.n_in == 0 and sw.n_out == 0:
+            del topo.switches[sw.id]

@@ -1,0 +1,371 @@
+"""SoC problem specification: cores, traffic flows, voltage islands.
+
+This is the input side of the synthesis problem from Section 3 of the
+paper.  A :class:`SoCSpec` bundles:
+
+* the cores (IP blocks) with their physical properties,
+* the application traffic flows with bandwidth and latency constraints,
+* the assignment of cores to voltage islands (an *input* to synthesis,
+  per Section 3.1: "The cores of the design are assigned to different
+  VIs, which is given as an input to our method").
+
+The spec is deliberately plain data — synthesis, floorplanning and power
+analysis all read it but never mutate it.  Use :meth:`SoCSpec.with_vi_assignment`
+to derive a re-islanded variant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..exceptions import SpecError
+
+#: Functional categories used by the benchmark suite and by logical
+#: partitioning.  Free-form strings are allowed; these are the ones the
+#: built-in benchmarks use.
+CORE_KINDS = (
+    "cpu",
+    "dsp",
+    "cache",
+    "memory",
+    "dma",
+    "accelerator",
+    "video",
+    "audio",
+    "imaging",
+    "display",
+    "io",
+    "bridge",
+    "peripheral",
+)
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """One IP block of the SoC.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier, e.g. ``"arm0"``.
+    area_mm2:
+        Silicon area of the core.
+    dynamic_power_mw:
+        Average dynamic power when the core is active.
+    leakage_power_mw:
+        Leakage power when powered (independent of activity); this is
+        what island shutdown eliminates.
+    kind:
+        Functional category (see :data:`CORE_KINDS`).
+    group:
+        Functional-group path used by *logical partitioning*, e.g.
+        ``"video/decode"``.  Cores sharing a group prefix are clustered
+        together when islands are merged.
+    freq_mhz:
+        The core's own clock.  The NoC network interface performs clock
+        conversion, so this does not constrain the island NoC frequency
+        (Section 3.1), but it is reported in floorplans and exports.
+    """
+
+    name: str
+    area_mm2: float
+    dynamic_power_mw: float
+    leakage_power_mw: float
+    kind: str = "peripheral"
+    group: str = ""
+    freq_mhz: float = 200.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("core name must be a non-empty string")
+        if self.area_mm2 <= 0:
+            raise SpecError("core %r: area must be positive" % self.name)
+        if self.dynamic_power_mw < 0:
+            raise SpecError("core %r: dynamic power must be >= 0" % self.name)
+        if self.leakage_power_mw < 0:
+            raise SpecError("core %r: leakage power must be >= 0" % self.name)
+        if self.freq_mhz <= 0:
+            raise SpecError("core %r: frequency must be positive" % self.name)
+
+
+@dataclass(frozen=True)
+class TrafficFlow:
+    """A directed communication requirement between two cores.
+
+    Definition 1 of the paper attaches a bandwidth ``bw`` and a latency
+    constraint ``lat`` to every flow; both feed the VCG edge weight
+    ``h = alpha * bw/max_bw + (1-alpha) * min_lat/lat``.
+
+    Parameters
+    ----------
+    src, dst:
+        Core names; must exist in the owning :class:`SoCSpec`.
+    bandwidth_mbps:
+        Sustained bandwidth requirement in MB/s.
+    latency_cycles:
+        Zero-load latency budget in NoC cycles, measured like the paper
+        does: from the output of the source NI to the input of the
+        destination NI.
+    """
+
+    src: str
+    dst: str
+    bandwidth_mbps: float
+    latency_cycles: float = 20.0
+
+    def __post_init__(self) -> None:
+        if not self.src or not self.dst:
+            raise SpecError("flow endpoints must be non-empty strings")
+        if self.src == self.dst:
+            raise SpecError("flow %s->%s: self-loops are not allowed" % (self.src, self.dst))
+        if self.bandwidth_mbps <= 0:
+            raise SpecError(
+                "flow %s->%s: bandwidth must be positive" % (self.src, self.dst)
+            )
+        if self.latency_cycles <= 0:
+            raise SpecError(
+                "flow %s->%s: latency constraint must be positive" % (self.src, self.dst)
+            )
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """The ``(src, dst)`` pair identifying this flow."""
+        return (self.src, self.dst)
+
+
+@dataclass(frozen=True)
+class SoCSpec:
+    """Complete synthesis input: cores, flows and the VI assignment.
+
+    Voltage islands are identified by small non-negative integers
+    ``0..num_islands-1``.  The special *intermediate NoC island* created
+    by synthesis is not part of the spec; it is identified by
+    :data:`repro.arch.topology.INTERMEDIATE_ISLAND`.
+    """
+
+    name: str
+    cores: Tuple[CoreSpec, ...]
+    flows: Tuple[TrafficFlow, ...]
+    vi_assignment: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("spec name must be non-empty")
+        if not self.cores:
+            raise SpecError("spec %r: needs at least one core" % self.name)
+        names = [c.name for c in self.cores]
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise SpecError("spec %r: duplicate core names %s" % (self.name, sorted(dupes)))
+        known = set(names)
+        seen_flows: Set[Tuple[str, str]] = set()
+        for f in self.flows:
+            if f.src not in known:
+                raise SpecError("flow %s->%s: unknown source core" % (f.src, f.dst))
+            if f.dst not in known:
+                raise SpecError("flow %s->%s: unknown destination core" % (f.src, f.dst))
+            if f.key in seen_flows:
+                raise SpecError("duplicate flow %s->%s" % (f.src, f.dst))
+            seen_flows.add(f.key)
+        assignment = dict(self.vi_assignment)
+        if not assignment:
+            # Default: a single island holding every core (the paper's
+            # "1 island" reference point).
+            assignment = {n: 0 for n in names}
+        unknown = set(assignment) - known
+        if unknown:
+            raise SpecError(
+                "vi_assignment mentions unknown cores %s" % sorted(unknown)
+            )
+        missing = known - set(assignment)
+        if missing:
+            raise SpecError(
+                "vi_assignment misses cores %s" % sorted(missing)
+            )
+        for core, isl in assignment.items():
+            if not isinstance(isl, int) or isl < 0:
+                raise SpecError(
+                    "core %r: island id must be a non-negative int, got %r" % (core, isl)
+                )
+        # Island ids must be dense 0..n-1 so sweeps and floorplans can
+        # index arrays by island id.
+        ids = sorted(set(assignment.values()))
+        if ids != list(range(len(ids))):
+            raise SpecError(
+                "island ids must be dense 0..n-1, got %s" % ids
+            )
+        object.__setattr__(self, "vi_assignment", assignment)
+
+    # ------------------------------------------------------------------
+    # Core / island accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def core_names(self) -> List[str]:
+        """Core names in declaration order."""
+        return [c.name for c in self.cores]
+
+    def core(self, name: str) -> CoreSpec:
+        """Look up a core by name; raises :class:`SpecError` if absent."""
+        for c in self.cores:
+            if c.name == name:
+                return c
+        raise SpecError("spec %r: no core named %r" % (self.name, name))
+
+    @property
+    def num_islands(self) -> int:
+        """Number of voltage islands in the assignment."""
+        return len(set(self.vi_assignment.values()))
+
+    @property
+    def islands(self) -> List[int]:
+        """Sorted island ids, ``[0, 1, ..., num_islands-1]``."""
+        return sorted(set(self.vi_assignment.values()))
+
+    def island_of(self, core_name: str) -> int:
+        """Island id a core belongs to."""
+        try:
+            return self.vi_assignment[core_name]
+        except KeyError:
+            raise SpecError("spec %r: no core named %r" % (self.name, core_name))
+
+    def cores_in_island(self, island: int) -> List[str]:
+        """Core names assigned to ``island``, in declaration order."""
+        return [c.name for c in self.cores if self.vi_assignment[c.name] == island]
+
+    # ------------------------------------------------------------------
+    # Flow accessors
+    # ------------------------------------------------------------------
+
+    def flow(self, src: str, dst: str) -> TrafficFlow:
+        """Look up the flow from ``src`` to ``dst``."""
+        for f in self.flows:
+            if f.src == src and f.dst == dst:
+                return f
+        raise SpecError("spec %r: no flow %s->%s" % (self.name, src, dst))
+
+    def flows_within_island(self, island: int) -> List[TrafficFlow]:
+        """Flows whose both endpoints live in ``island``."""
+        return [
+            f
+            for f in self.flows
+            if self.vi_assignment[f.src] == island and self.vi_assignment[f.dst] == island
+        ]
+
+    def flows_across_islands(self) -> List[TrafficFlow]:
+        """Flows whose endpoints live in different islands."""
+        return [
+            f for f in self.flows if self.vi_assignment[f.src] != self.vi_assignment[f.dst]
+        ]
+
+    @property
+    def max_bandwidth_mbps(self) -> float:
+        """``max_bw`` of Definition 1: largest bandwidth over all flows."""
+        if not self.flows:
+            return 0.0
+        return max(f.bandwidth_mbps for f in self.flows)
+
+    @property
+    def min_latency_cycles(self) -> float:
+        """``min_lat`` of Definition 1: tightest latency constraint."""
+        if not self.flows:
+            return 0.0
+        return min(f.latency_cycles for f in self.flows)
+
+    def core_peak_bandwidth_mbps(self, core_name: str) -> float:
+        """Worst-case bandwidth on the core's single NI link.
+
+        A core attaches to exactly one switch through one NI (Section
+        4), so its NI link must carry the *sum* of all its outgoing
+        flows in one direction and of all incoming flows in the other.
+        The island NoC frequency is driven by the larger of the two.
+        """
+        out_bw = sum(f.bandwidth_mbps for f in self.flows if f.src == core_name)
+        in_bw = sum(f.bandwidth_mbps for f in self.flows if f.dst == core_name)
+        return max(out_bw, in_bw)
+
+    def island_peak_bandwidth_mbps(self, island: int) -> float:
+        """Largest NI-link bandwidth over the island's cores (step 1)."""
+        cores = self.cores_in_island(island)
+        if not cores:
+            return 0.0
+        return max(self.core_peak_bandwidth_mbps(c) for c in cores)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def total_core_area_mm2(self) -> float:
+        """Sum of all core areas (the SoC area baseline)."""
+        return sum(c.area_mm2 for c in self.cores)
+
+    @property
+    def total_core_dynamic_power_mw(self) -> float:
+        """Sum of core dynamic power with every core active."""
+        return sum(c.dynamic_power_mw for c in self.cores)
+
+    @property
+    def total_core_leakage_power_mw(self) -> float:
+        """Sum of core leakage power with every island powered."""
+        return sum(c.leakage_power_mw for c in self.cores)
+
+    @property
+    def total_flow_bandwidth_mbps(self) -> float:
+        """Aggregate bandwidth over all flows."""
+        return sum(f.bandwidth_mbps for f in self.flows)
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+
+    def with_vi_assignment(self, assignment: Mapping[str, int], name: Optional[str] = None) -> "SoCSpec":
+        """Return a copy of the spec with a different island assignment.
+
+        Used by the partitioning strategies (logical / communication
+        based) to generate the island-count sweep of Figures 2 and 3.
+        """
+        return replace(
+            self,
+            name=name if name is not None else self.name,
+            vi_assignment=dict(assignment),
+        )
+
+    def single_island(self) -> "SoCSpec":
+        """The paper's reference point: every core in one island."""
+        return self.with_vi_assignment({c.name: 0 for c in self.cores})
+
+    def communication_matrix(self) -> Dict[Tuple[str, str], float]:
+        """Bandwidth between all communicating pairs, as a dict."""
+        return {f.key: f.bandwidth_mbps for f in self.flows}
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "SoCSpec(%s: %d cores, %d flows, %d islands)" % (
+            self.name,
+            len(self.cores),
+            len(self.flows),
+            self.num_islands,
+        )
+
+
+def build_spec(
+    name: str,
+    cores: Iterable[CoreSpec],
+    flows: Iterable[TrafficFlow],
+    vi_assignment: Optional[Mapping[str, int]] = None,
+) -> SoCSpec:
+    """Convenience constructor accepting any iterables.
+
+    >>> c = [CoreSpec("a", 1.0, 10.0, 1.0), CoreSpec("b", 1.0, 10.0, 1.0)]
+    >>> s = build_spec("demo", c, [TrafficFlow("a", "b", 100.0)])
+    >>> s.num_islands
+    1
+    """
+    return SoCSpec(
+        name=name,
+        cores=tuple(cores),
+        flows=tuple(flows),
+        vi_assignment=dict(vi_assignment) if vi_assignment else {},
+    )

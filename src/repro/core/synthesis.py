@@ -1,0 +1,219 @@
+"""Topology synthesis driver — Algorithm 1 of the paper.
+
+Pipeline per design-point candidate:
+
+1. **Island planning** (steps 1–2): per-island NoC frequency from the
+   worst NI link, maximum switch size from crossbar timing, minimum
+   switch count from the size bound.
+2. **Switch-count sweep** (steps 4–10): one sweep variable ``i`` raises
+   every island's switch count in lock-step from its minimum toward
+   one-switch-per-core (saturating per island).
+3. **Core-to-switch assignment** (step 11): ``k``-way min-cut
+   partitioning of each island's VCG; cores in one part share a switch.
+4. **Intermediate-island sweep** (step 14): 0..N indirect switches in
+   the never-gated NoC island.
+5. **Path allocation** (step 15): bandwidth-ordered least-cost routing
+   with link opening/reuse under size, capacity, latency and
+   shutdown-safety constraints.
+6. **Physical evaluation** (final step): floorplan insertion, wire
+   lengths, power and zero-load latency; feasible candidates become
+   :class:`~repro.core.design_point.DesignPoint` s.
+
+The returned :class:`~repro.core.design_point.DesignSpace` is the
+paper's power/performance trade-off curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..arch.topology import INTERMEDIATE_ISLAND, Topology
+from ..arch.validate import validate_topology
+from ..exceptions import InfeasibleError, PartitionError, SynthesisError
+from ..floorplan.annealer import AnnealConfig, anneal_placement
+from ..floorplan.placer import Floorplan, FloorplanConfig, place
+from ..floorplan.wires import assign_wire_lengths
+from ..power.library import DEFAULT_LIBRARY, NocLibrary
+from ..power.noc_power import compute_noc_power
+from ..power.soc_power import compute_soc_power
+from ..sim.zero_load import evaluate_latency
+from .design_point import DesignPoint, DesignSpace
+from .frequency import IslandPlan, plan_all_islands
+from .partition import partition_graph
+from .paths import AllocationResult, PathCostConfig, allocate_paths
+from .spec import SoCSpec
+from .vcg import build_all_vcgs
+
+
+@dataclass(frozen=True)
+class SynthesisConfig:
+    """All knobs of the synthesis flow, with paper-faithful defaults."""
+
+    #: Definition 1 weight between bandwidth and latency terms.
+    alpha: float = 0.6
+    #: Frequency quantization grid for island clocks (MHz).
+    freq_step_mhz: float = 25.0
+    #: Practical floor for island NoC clocks (MHz).
+    min_freq_mhz: float = 100.0
+    #: Explore intermediate-island solutions (Section 3.2: only if the
+    #: designer provides power/ground resources for it).
+    allow_intermediate: bool = True
+    #: Cap on indirect switches tried per candidate; ``None`` lets the
+    #: sweep run to the largest island's switch count (paper's bound).
+    max_intermediate: Optional[int] = 3
+    #: Path-cost configuration (power/latency linear combination).
+    path_cost: PathCostConfig = field(default_factory=PathCostConfig)
+    #: Min-cut partitioner variant ("fm" or "greedy") and seed.
+    partition_method: str = "fm"
+    seed: int = 0
+    #: Floorplanner knobs.
+    floorplan: FloorplanConfig = field(default_factory=FloorplanConfig)
+    #: Run simulated-annealing placement refinement (slower, shorter
+    #: wires); the constructive placer is the default.
+    anneal_placement: bool = False
+    #: Use placed wire lengths in power figures.
+    use_lengths: bool = True
+    #: Validate every design point's structural invariants (cheap; keep
+    #: on outside of tight benchmark loops).
+    validate_points: bool = True
+    #: Stop the sweep after this many feasible points (None = full sweep).
+    max_design_points: Optional[int] = None
+
+
+def synthesize(
+    spec: SoCSpec,
+    library: NocLibrary = DEFAULT_LIBRARY,
+    config: Optional[SynthesisConfig] = None,
+) -> DesignSpace:
+    """Run Algorithm 1 on a spec; return all feasible design points.
+
+    Raises
+    ------
+    InfeasibleError
+        If no candidate in the whole sweep routes all flows within
+        constraints.  (Callers wanting the empty space instead can
+        catch it or inspect ``DesignSpace.failures``.)
+    """
+    cfg = config or SynthesisConfig()
+    plans = plan_all_islands(spec, library, cfg.freq_step_mhz, cfg.min_freq_mhz)
+    vcgs = build_all_vcgs(spec, cfg.alpha)
+    space = DesignSpace(spec_name=spec.name)
+
+    max_cores = max(p.num_cores for p in plans.values())
+    has_cross_flows = bool(spec.flows_across_islands())
+    if cfg.allow_intermediate and has_cross_flows and spec.num_islands > 1:
+        mid_cap = max_cores if cfg.max_intermediate is None else cfg.max_intermediate
+    else:
+        mid_cap = 0
+
+    seen_counts: Set[Tuple[Tuple[int, int], ...]] = set()
+    point_index = 0
+    for i in range(0, max_cores + 1):
+        counts: Dict[int, int] = {}
+        for isl, plan in plans.items():
+            counts[isl] = min(plan.min_switches + i, plan.num_cores)
+        counts_key = tuple(sorted(counts.items()))
+        if counts_key in seen_counts:
+            continue  # every island saturated; nothing new to explore
+        seen_counts.add(counts_key)
+
+        try:
+            partitions = _partition_islands(spec, vcgs, plans, counts, cfg)
+        except PartitionError as exc:
+            space.failures.append((counts_key, -1, "partitioning: %s" % exc))
+            continue
+
+        seen_signatures: Set[Tuple[Tuple[Tuple[int, int], ...], int]] = set()
+        for k_mid in range(0, mid_cap + 1):
+            result = allocate_paths(
+                spec,
+                library,
+                plans,
+                partitions,
+                num_intermediate=k_mid,
+                cost_config=cfg.path_cost,
+            )
+            if not result.success:
+                space.failures.append((counts_key, k_mid, result.reason or "unknown"))
+                continue
+            # Requesting more intermediate switches than the allocator
+            # uses reproduces an earlier point; skip the duplicate.
+            used_mid = len(result.require_topology().intermediate_switches)
+            signature = (counts_key, used_mid)
+            if signature in seen_signatures:
+                continue
+            seen_signatures.add(signature)
+            point = _evaluate_point(
+                result, plans, counts, k_mid, point_index, library, cfg
+            )
+            space.points.append(point)
+            point_index += 1
+            if cfg.max_design_points is not None and len(space.points) >= cfg.max_design_points:
+                return space
+    space.require_feasible()
+    return space
+
+
+def _partition_islands(
+    spec: SoCSpec,
+    vcgs: Mapping[int, object],
+    plans: Mapping[int, IslandPlan],
+    counts: Mapping[int, int],
+    cfg: SynthesisConfig,
+) -> Dict[int, List[Set[str]]]:
+    """Step 11: k-way min-cut partition of every island's VCG."""
+    partitions: Dict[int, List[Set[str]]] = {}
+    for isl in sorted(counts):
+        vcg = vcgs[isl]
+        k = counts[isl]
+        parts = partition_graph(
+            list(vcg.nodes),
+            vcg.symmetric_weights(),
+            k,
+            max_part_size=plans[isl].max_switch_size,
+            seed=cfg.seed,
+            method=cfg.partition_method,
+        )
+        partitions[isl] = parts
+    return partitions
+
+
+def _evaluate_point(
+    result: AllocationResult,
+    plans: Mapping[int, IslandPlan],
+    counts: Mapping[int, int],
+    k_mid: int,
+    index: int,
+    library: NocLibrary,
+    cfg: SynthesisConfig,
+) -> DesignPoint:
+    """Final step: floorplan, wires, power, latency for one topology."""
+    topo = result.require_topology()
+    if cfg.anneal_placement:
+        floorplan = anneal_placement(topo, cfg.floorplan, AnnealConfig(seed=cfg.seed))
+    else:
+        floorplan = place(topo, cfg.floorplan)
+    wires = assign_wire_lengths(topo, floorplan)
+    if cfg.validate_points:
+        max_sizes = {isl: p.max_switch_size for isl, p in plans.items()}
+        if topo.has_intermediate_island:
+            max_sizes[INTERMEDIATE_ISLAND] = library.max_switch_size_for_freq(
+                topo.island_freqs[INTERMEDIATE_ISLAND]
+            )
+        validate_topology(topo, max_switch_sizes=max_sizes)
+    noc_power = compute_noc_power(topo, use_lengths=cfg.use_lengths)
+    soc_power = compute_soc_power(topo, noc_power)
+    latency = evaluate_latency(topo)
+    return DesignPoint(
+        index=index,
+        switch_counts=dict(counts),
+        num_intermediate_requested=k_mid,
+        num_intermediate_used=len(topo.intermediate_switches),
+        topology=topo,
+        floorplan=floorplan,
+        wires=wires,
+        noc_power=noc_power,
+        soc_power=soc_power,
+        latency=latency,
+    )

@@ -1,0 +1,108 @@
+"""Island region allocation by recursive area slicing.
+
+The chip is a square die whose area covers all cores plus a whitespace
+margin.  Voltage islands must be *contiguous* regions — that is the
+whole point of islands: one pair of power/ground rails per region, one
+set of sleep transistors (Sections 1 and 3.1).  We allocate them with a
+classic slicing floorplan:
+
+* sort regions by area (descending, name-tiebroken, deterministic);
+* recursively split the region list into two halves of roughly equal
+  total area, cutting the current rectangle proportionally — vertical
+  or horizontal, whichever keeps aspect ratios closer to square;
+* a singleton list claims the whole rectangle.
+
+Slicing yields a perfect tiling (no overlap, no dead space between
+regions), which keeps the geometry honest for the area-overhead claims
+and trivially satisfies island contiguity.
+
+The intermediate NoC island, when present, participates like any other
+region using its switch area; the paper models exactly this "take the
+availability of power and ground lines for the intermediate VI as an
+input" scenario.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from ..exceptions import FloorplanError
+from .geometry import Rect
+
+
+def slice_regions(
+    rect: Rect,
+    areas: Sequence[Tuple[object, float]],
+) -> Dict[object, Rect]:
+    """Tile ``rect`` into one sub-rectangle per (key, area) entry.
+
+    Sub-rectangle areas are proportional to the requested areas; the
+    tiling is exact (sums to ``rect.area``).  Keys may be any hashable
+    (island ids, core names).
+
+    >>> r = slice_regions(Rect(0, 0, 2, 2), [("a", 1.0), ("b", 1.0)])
+    >>> abs(r["a"].area - 2.0) < 1e-9 and abs(r["b"].area - 2.0) < 1e-9
+    True
+    """
+    if not areas:
+        raise FloorplanError("no regions to slice")
+    for key, a in areas:
+        if a <= 0:
+            raise FloorplanError("region %r has non-positive area %r" % (key, a))
+    if rect.area <= 0:
+        raise FloorplanError("cannot slice a degenerate rectangle")
+    ordered = sorted(areas, key=lambda ka: (-ka[1], str(ka[0])))
+    out: Dict[object, Rect] = {}
+    _slice(rect, ordered, out)
+    return out
+
+
+def _slice(
+    rect: Rect,
+    areas: List[Tuple[object, float]],
+    out: Dict[object, Rect],
+) -> None:
+    if len(areas) == 1:
+        out[areas[0][0]] = rect
+        return
+    total = sum(a for _, a in areas)
+    # Greedy halving: walk the (sorted) list, stop when half the area is
+    # reached.  Keeps both sides non-empty.
+    acc = 0.0
+    split_at = 1
+    for i, (_, a) in enumerate(areas[:-1]):
+        acc += a
+        if acc >= total / 2.0:
+            split_at = i + 1
+            break
+    else:
+        split_at = len(areas) - 1
+    left = areas[:split_at]
+    right = areas[split_at:]
+    frac = sum(a for _, a in left) / total
+    frac = min(max(frac, 1e-6), 1.0 - 1e-6)
+    # Cut across the longer dimension so children stay square-ish.
+    if rect.w >= rect.h:
+        r1, r2 = rect.split_vertical(frac)
+    else:
+        r1, r2 = rect.split_horizontal(frac)
+    _slice(r1, left, out)
+    _slice(r2, right, out)
+
+
+def chip_rect(total_area_mm2: float, whitespace_fraction: float = 0.25, aspect: float = 1.0) -> Rect:
+    """Die outline: total area inflated by whitespace, given aspect.
+
+    ``aspect`` is width/height.
+    """
+    if total_area_mm2 <= 0:
+        raise FloorplanError("total area must be positive")
+    if whitespace_fraction < 0:
+        raise FloorplanError("whitespace fraction must be >= 0")
+    if aspect <= 0:
+        raise FloorplanError("aspect must be positive")
+    area = total_area_mm2 * (1.0 + whitespace_fraction)
+    h = math.sqrt(area / aspect)
+    w = area / h
+    return Rect(0.0, 0.0, w, h)

@@ -1,0 +1,190 @@
+"""Placement of cores, NIs and switches on the die.
+
+The flow mirrors the paper's "the NoC components are inserted on the
+floorplan and the wire lengths, wire power and delay are calculated"
+(Section 4, last step):
+
+1. allocate island regions (:mod:`repro.floorplan.islands`);
+2. tile each island region with its cores (same slicing machinery,
+   cores inflated by a local whitespace factor that reserves room for
+   the NoC components — this inflation is what the NoC *area overhead*
+   is measured against);
+3. drop each NI at its core's boundary-facing center;
+4. drop each switch at the bandwidth-weighted centroid of the NIs and
+   peer switches it connects to, clamped into its island's region
+   (switches must sit inside their island — their power rails come from
+   it);
+5. intermediate-island switches land in the intermediate region (when
+   instantiated).
+
+The result is a :class:`Floorplan` that the wire model
+(:mod:`repro.floorplan.wires`) and exports (Figure 5) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..arch.topology import INTERMEDIATE_ISLAND, Topology
+from ..exceptions import FloorplanError
+from .geometry import Point, Rect
+from .islands import chip_rect, slice_regions
+
+
+@dataclass(frozen=True)
+class FloorplanConfig:
+    """Floorplanner knobs."""
+
+    #: Die whitespace on top of the summed region areas.
+    whitespace_fraction: float = 0.12
+    #: Extra area per island to host NoC components and local routing.
+    island_noc_margin: float = 0.06
+    #: Die aspect ratio (width / height).
+    aspect: float = 1.0
+    #: Floor for the intermediate island's region area (mm^2).
+    min_intermediate_area_mm2: float = 0.35
+
+
+@dataclass
+class Floorplan:
+    """Placed design: die, island regions, core cells, NoC positions."""
+
+    chip: Rect
+    island_rects: Dict[int, Rect]
+    core_rects: Dict[str, Rect]
+    switch_pos: Dict[str, Point]
+    ni_pos: Dict[str, Point]
+
+    def position_of(self, comp_id: str) -> Point:
+        """Die position of a component (switch or NI) by id."""
+        if comp_id in self.switch_pos:
+            return self.switch_pos[comp_id]
+        if comp_id in self.ni_pos:
+            return self.ni_pos[comp_id]
+        raise FloorplanError("unplaced component %r" % comp_id)
+
+    def wire_length_mm(self, src_id: str, dst_id: str) -> float:
+        """Manhattan distance between two placed components."""
+        return self.position_of(src_id).manhattan(self.position_of(dst_id))
+
+
+def place(
+    topology: Topology,
+    config: Optional[FloorplanConfig] = None,
+    core_order: Optional[Mapping[int, Sequence[str]]] = None,
+) -> Floorplan:
+    """Produce a floorplan for a synthesized topology.
+
+    ``core_order`` optionally fixes the per-island core ordering fed to
+    the slicing tiler — the annealer uses this hook to explore
+    placements; by default cores are tiled in bandwidth-affinity order.
+    """
+    cfg = config or FloorplanConfig()
+    spec = topology.spec
+    lib = topology.library
+
+    island_core_area: Dict[int, float] = {}
+    for isl in spec.islands:
+        area = sum(spec.core(c).area_mm2 for c in spec.cores_in_island(isl))
+        island_core_area[isl] = area * (1.0 + cfg.island_noc_margin)
+    region_areas: List[Tuple[object, float]] = sorted(island_core_area.items())
+    if topology.has_intermediate_island:
+        mid_area = sum(
+            lib.switch_area_mm2(max(s.n_in, 1), max(s.n_out, 1))
+            for s in topology.intermediate_switches
+        )
+        region_areas.append(
+            (INTERMEDIATE_ISLAND, max(mid_area * 4.0, cfg.min_intermediate_area_mm2))
+        )
+
+    total = sum(a for _, a in region_areas)
+    chip = chip_rect(total, cfg.whitespace_fraction, cfg.aspect)
+    island_rects_any = slice_regions(chip, region_areas)
+    island_rects: Dict[int, Rect] = {int(k): v for k, v in island_rects_any.items()}
+
+    core_rects: Dict[str, Rect] = {}
+    for isl in spec.islands:
+        cores = list(spec.cores_in_island(isl))
+        if core_order and isl in core_order:
+            ordered = list(core_order[isl])
+            if sorted(ordered) != sorted(cores):
+                raise FloorplanError(
+                    "core_order for island %d does not match its cores" % isl
+                )
+            cores = ordered
+        rect = island_rects[isl]
+        entries = [(c, spec.core(c).area_mm2) for c in cores]
+        placed = slice_regions(rect, entries)
+        for c, r in placed.items():
+            core_rects[str(c)] = r
+
+    ni_pos: Dict[str, Point] = {}
+    for nid, ni in topology.nis.items():
+        ni_pos[nid] = core_rects[ni.core].center
+
+    switch_pos = _place_switches(topology, island_rects, ni_pos)
+    return Floorplan(
+        chip=chip,
+        island_rects=island_rects,
+        core_rects=core_rects,
+        switch_pos=switch_pos,
+        ni_pos=ni_pos,
+    )
+
+
+def _place_switches(
+    topology: Topology,
+    island_rects: Mapping[int, Rect],
+    ni_pos: Mapping[str, Point],
+) -> Dict[str, Point]:
+    """Bandwidth-weighted centroid placement with island clamping.
+
+    Two fixed-point passes: the first places every switch at the
+    centroid of its attached NIs (intermediate switches start at die
+    center), the second refines with switch-to-switch link weights now
+    that peers have positions.
+    """
+    positions: Dict[str, Point] = {}
+    # Pass 0: NI centroids.
+    for sid, sw in topology.switches.items():
+        pts: List[Tuple[Point, float]] = []
+        for link in topology.links.values():
+            if link.kind == "ni2sw" and link.dst == sid:
+                pts.append((ni_pos[link.src], max(link.used_mbps, 1.0)))
+        if pts:
+            positions[sid] = _weighted_centroid(pts)
+        else:
+            rect = island_rects[sw.island]
+            positions[sid] = rect.center
+    # Pass 1..2: include switch-to-switch attraction.
+    for _ in range(2):
+        updated: Dict[str, Point] = {}
+        for sid, sw in topology.switches.items():
+            pts = []
+            for link in topology.links.values():
+                w = max(link.used_mbps, 1.0)
+                if link.kind == "ni2sw" and link.dst == sid:
+                    pts.append((ni_pos[link.src], w))
+                elif link.kind == "sw2ni" and link.src == sid:
+                    pts.append((ni_pos[link.dst], w))
+                elif link.kind == "sw2sw" and link.dst == sid:
+                    pts.append((positions[link.src], w))
+                elif link.kind == "sw2sw" and link.src == sid:
+                    pts.append((positions[link.dst], w))
+            if not pts:
+                continue
+            centroid = _weighted_centroid(pts)
+            updated[sid] = island_rects[sw.island].clamp(centroid)
+        positions.update(updated)
+    return positions
+
+
+def _weighted_centroid(points: Sequence[Tuple[Point, float]]) -> Point:
+    total = sum(w for _, w in points)
+    if total <= 0:
+        total = float(len(points))
+        points = [(p, 1.0) for p, _ in points]
+    x = sum(p.x * w for p, w in points) / total
+    y = sum(p.y * w for p, w in points) / total
+    return Point(x, y)

@@ -1,0 +1,235 @@
+"""JSON serialization of specs, topologies and design-point summaries.
+
+Specs round-trip losslessly (they are plain data).  Topologies export
+to a complete structural description — components, links, routes,
+island clocks — suitable for driving a downstream implementation flow
+or re-loading for analysis; reconstruction returns a fully functional
+:class:`~repro.arch.topology.Topology` bound to the spec embedded in
+the same file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from ..arch.topology import Link, NetworkInterface, Switch, Topology
+from ..core.design_point import DesignPoint
+from ..core.spec import CoreSpec, SoCSpec, TrafficFlow
+from ..exceptions import SpecError
+from ..power.library import NocLibrary
+
+
+# ----------------------------------------------------------------------
+# Spec
+# ----------------------------------------------------------------------
+
+
+def spec_to_dict(spec: SoCSpec) -> Dict[str, Any]:
+    """Spec as a JSON-compatible dict."""
+    return {
+        "name": spec.name,
+        "cores": [
+            {
+                "name": c.name,
+                "area_mm2": c.area_mm2,
+                "dynamic_power_mw": c.dynamic_power_mw,
+                "leakage_power_mw": c.leakage_power_mw,
+                "kind": c.kind,
+                "group": c.group,
+                "freq_mhz": c.freq_mhz,
+            }
+            for c in spec.cores
+        ],
+        "flows": [
+            {
+                "src": f.src,
+                "dst": f.dst,
+                "bandwidth_mbps": f.bandwidth_mbps,
+                "latency_cycles": f.latency_cycles,
+            }
+            for f in spec.flows
+        ],
+        "vi_assignment": dict(spec.vi_assignment),
+    }
+
+
+def spec_from_dict(data: Dict[str, Any]) -> SoCSpec:
+    """Rebuild a spec from :func:`spec_to_dict` output."""
+    try:
+        cores = tuple(
+            CoreSpec(
+                name=c["name"],
+                area_mm2=c["area_mm2"],
+                dynamic_power_mw=c["dynamic_power_mw"],
+                leakage_power_mw=c["leakage_power_mw"],
+                kind=c.get("kind", "peripheral"),
+                group=c.get("group", ""),
+                freq_mhz=c.get("freq_mhz", 200.0),
+            )
+            for c in data["cores"]
+        )
+        flows = tuple(
+            TrafficFlow(
+                src=f["src"],
+                dst=f["dst"],
+                bandwidth_mbps=f["bandwidth_mbps"],
+                latency_cycles=f.get("latency_cycles", 20.0),
+            )
+            for f in data["flows"]
+        )
+        return SoCSpec(
+            name=data["name"],
+            cores=cores,
+            flows=flows,
+            vi_assignment={k: int(v) for k, v in data.get("vi_assignment", {}).items()},
+        )
+    except KeyError as exc:
+        raise SpecError("spec dict missing field %s" % exc)
+
+
+def save_spec(spec: SoCSpec, path: str) -> None:
+    """Write a spec to a JSON file."""
+    with open(path, "w") as f:
+        json.dump(spec_to_dict(spec), f, indent=2, sort_keys=True)
+
+
+def load_spec(path: str) -> SoCSpec:
+    """Read a spec from a JSON file."""
+    with open(path) as f:
+        return spec_from_dict(json.load(f))
+
+
+# ----------------------------------------------------------------------
+# Topology
+# ----------------------------------------------------------------------
+
+
+def topology_to_dict(topology: Topology) -> Dict[str, Any]:
+    """Topology (with its spec) as a JSON-compatible dict."""
+    return {
+        "spec": spec_to_dict(topology.spec),
+        "island_freqs": {str(k): v for k, v in topology.island_freqs.items()},
+        "switches": [
+            {
+                "id": s.id,
+                "island": s.island,
+                "freq_mhz": s.freq_mhz,
+                "n_in": s.n_in,
+                "n_out": s.n_out,
+            }
+            for s in sorted(topology.switches.values(), key=lambda s: s.id)
+        ],
+        "nis": [
+            {"id": n.id, "core": n.core, "island": n.island, "freq_mhz": n.freq_mhz}
+            for n in sorted(topology.nis.values(), key=lambda n: n.id)
+        ],
+        "core_switch": dict(topology.core_switch),
+        "links": [
+            {
+                "id": l.id,
+                "src": l.src,
+                "dst": l.dst,
+                "src_island": l.src_island,
+                "dst_island": l.dst_island,
+                "freq_mhz": l.freq_mhz,
+                "capacity_mbps": l.capacity_mbps,
+                "kind": l.kind,
+                "length_mm": l.length_mm,
+                "flows": [[list(k), bw] for k, bw in l.flows],
+                "has_converter": l.has_converter,
+            }
+            for l in sorted(topology.links.values(), key=lambda l: l.id)
+        ],
+        "routes": {
+            "%s->%s" % key: list(route.links)
+            for key, route in sorted(topology.routes.items())
+        },
+    }
+
+
+def topology_from_dict(data: Dict[str, Any], library: Optional[NocLibrary] = None) -> Topology:
+    """Rebuild a topology (bypassing construction-time invariants —
+    the data is trusted to come from :func:`topology_to_dict`)."""
+    from ..arch.topology import Route  # local: avoid cycle at import time
+
+    spec = spec_from_dict(data["spec"])
+    lib = library or NocLibrary()
+    freqs = {int(k): float(v) for k, v in data["island_freqs"].items()}
+    topo = Topology(spec, lib, freqs)
+    for s in data["switches"]:
+        topo.switches[s["id"]] = Switch(
+            id=s["id"],
+            island=s["island"],
+            freq_mhz=s["freq_mhz"],
+            n_in=s["n_in"],
+            n_out=s["n_out"],
+        )
+    for n in data["nis"]:
+        topo.nis[n["id"]] = NetworkInterface(
+            id=n["id"], core=n["core"], island=n["island"], freq_mhz=n["freq_mhz"]
+        )
+    topo.core_switch = dict(data["core_switch"])
+    max_id = -1
+    for l in data["links"]:
+        link = Link(
+            id=l["id"],
+            src=l["src"],
+            dst=l["dst"],
+            src_island=l["src_island"],
+            dst_island=l["dst_island"],
+            freq_mhz=l["freq_mhz"],
+            capacity_mbps=l["capacity_mbps"],
+            kind=l["kind"],
+            length_mm=l["length_mm"],
+            flows=[((k[0], k[1]), bw) for k, bw in l["flows"]],
+            has_converter=l.get("has_converter"),
+        )
+        topo.links[link.id] = link
+        topo._links_by_pair.setdefault((link.src, link.dst), []).append(link.id)
+        max_id = max(max_id, link.id)
+    topo._next_link_id = max_id + 1
+    for key_str, link_ids in data["routes"].items():
+        src, dst = key_str.split("->")
+        comps: List[str] = [topo.links[link_ids[0]].src]
+        for lid in link_ids:
+            comps.append(topo.links[lid].dst)
+        topo.routes[(src, dst)] = Route(
+            flow=(src, dst), components=tuple(comps), links=tuple(link_ids)
+        )
+    return topo
+
+
+def save_topology(topology: Topology, path: str) -> None:
+    """Write a topology (plus its spec) to a JSON file."""
+    with open(path, "w") as f:
+        json.dump(topology_to_dict(topology), f, indent=2, sort_keys=True)
+
+
+def load_topology(path: str, library: Optional[NocLibrary] = None) -> Topology:
+    """Read a topology from a JSON file."""
+    with open(path) as f:
+        return topology_from_dict(json.load(f), library)
+
+
+# ----------------------------------------------------------------------
+# Design points (summary only — topologies are exported separately)
+# ----------------------------------------------------------------------
+
+
+def design_point_summary(point: DesignPoint) -> Dict[str, Any]:
+    """Flat JSON summary of one design point's metrics."""
+    return {
+        "label": point.label(),
+        "switch_counts": {str(k): v for k, v in point.switch_counts.items()},
+        "num_intermediate": point.num_intermediate_used,
+        "noc_dynamic_power_mw": point.noc_power.fig2_dynamic_mw,
+        "noc_total_dynamic_mw": point.noc_power.dynamic_mw,
+        "noc_leakage_mw": point.noc_power.leakage_mw,
+        "avg_latency_cycles": point.latency.average_cycles,
+        "max_latency_cycles": point.latency.max_cycles,
+        "noc_area_mm2": point.soc_power.noc_area_mm2,
+        "soc_area_mm2": point.soc_power.total_area_mm2,
+        "wire_length_mm": point.wires.total_length_mm,
+        "latency_violations": len(point.latency.violations),
+    }

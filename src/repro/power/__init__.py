@@ -1,0 +1,7 @@
+"""Power, area and timing models.
+
+Modules: the 65nm component library (`library`), NoC power rollup
+(`noc_power`), SoC totals (`soc_power`), island shutdown analysis
+(`leakage`), gating event economics (`gating`) and per-island voltage
+scaling (`voltage`).
+"""

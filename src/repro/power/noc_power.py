@@ -1,0 +1,204 @@
+"""NoC power aggregation for a synthesized (and placed) topology.
+
+Two power classes:
+
+* **dynamic** — clock/idle power of every powered component (scales
+  with island frequency and component size) plus traffic power (energy
+  per bit times routed bandwidth, walking each flow's route through
+  NIs, switches, wires and converters);
+* **leakage** — always-on component leakage, the part island shutdown
+  eliminates.
+
+Figure 2 plots the NoC dynamic power "on switches, links and the
+synchronizers" — NIs are excluded there because every design point has
+exactly one NI per core, so they cancel; :meth:`NocPower.fig2_dynamic_mw`
+reproduces that metric while the full breakdown keeps NI numbers for
+the SoC-level overhead accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Set, Tuple
+
+from .. import units
+from ..arch.topology import INTERMEDIATE_ISLAND, FlowKey, Topology
+
+
+@dataclass(frozen=True)
+class NocPower:
+    """Power breakdown of one topology, all figures in mW."""
+
+    switch_idle_mw: float
+    switch_traffic_mw: float
+    ni_idle_mw: float
+    ni_traffic_mw: float
+    link_traffic_mw: float
+    fifo_idle_mw: float
+    fifo_traffic_mw: float
+    leakage_mw: float
+    #: Dynamic power grouped by island id (incl. INTERMEDIATE_ISLAND).
+    dynamic_by_island: Mapping[int, float]
+    #: Leakage grouped by island id.
+    leakage_by_island: Mapping[int, float]
+
+    @property
+    def dynamic_mw(self) -> float:
+        """Total NoC dynamic power, NIs included."""
+        return (
+            self.switch_idle_mw
+            + self.switch_traffic_mw
+            + self.ni_idle_mw
+            + self.ni_traffic_mw
+            + self.link_traffic_mw
+            + self.fifo_idle_mw
+            + self.fifo_traffic_mw
+        )
+
+    @property
+    def fig2_dynamic_mw(self) -> float:
+        """Figure 2's metric: switches + links + synchronizers."""
+        return (
+            self.switch_idle_mw
+            + self.switch_traffic_mw
+            + self.link_traffic_mw
+            + self.fifo_idle_mw
+            + self.fifo_traffic_mw
+        )
+
+    @property
+    def total_mw(self) -> float:
+        """Dynamic plus leakage."""
+        return self.dynamic_mw + self.leakage_mw
+
+
+def compute_noc_power(
+    topology: Topology,
+    active_flows: Optional[Iterable[FlowKey]] = None,
+    powered_islands: Optional[Set[int]] = None,
+    use_lengths: bool = True,
+) -> NocPower:
+    """Aggregate the power of a topology.
+
+    Parameters
+    ----------
+    topology:
+        The synthesized NoC; if the floorplanner ran, link lengths feed
+        the wire energy model (``use_lengths=True``).
+    active_flows:
+        Restrict traffic power to these flows (used by the shutdown
+        analysis); ``None`` means all routed flows.
+    powered_islands:
+        Islands whose components are powered; gated islands contribute
+        neither idle nor leakage power.  ``None`` means all islands
+        (including the intermediate island) are on.
+    use_lengths:
+        Use placed wire lengths for link energy; otherwise wire energy
+        is skipped (pre-floorplan estimate).
+    """
+    lib = topology.library
+    spec = topology.spec
+    if active_flows is None:
+        active = set(topology.routes.keys())
+    else:
+        active = set(active_flows)
+    all_islands = set(topology.island_freqs.keys())
+    powered = all_islands if powered_islands is None else set(powered_islands)
+
+    dyn_by_island: Dict[int, float] = {isl: 0.0 for isl in all_islands}
+    leak_by_island: Dict[int, float] = {isl: 0.0 for isl in all_islands}
+
+    switch_idle = ni_idle = fifo_idle = 0.0
+    leakage = 0.0
+
+    for sw in topology.switches.values():
+        if sw.island not in powered:
+            continue
+        n_in, n_out = max(sw.n_in, 1), max(sw.n_out, 1)
+        idle = lib.switch_idle_power_mw(n_in, n_out, sw.freq_mhz)
+        switch_idle += idle
+        dyn_by_island[sw.island] += idle
+        leak = lib.switch_leakage_mw(n_in, n_out)
+        leakage += leak
+        leak_by_island[sw.island] += leak
+
+    for ni in topology.nis.values():
+        if ni.island not in powered:
+            continue
+        idle = lib.ni_idle_power_mw(ni.freq_mhz)
+        ni_idle += idle
+        dyn_by_island[ni.island] += idle
+        leakage += lib.ni_leakage_mw()
+        leak_by_island[ni.island] += lib.ni_leakage_mw()
+
+    for link in topology.links.values():
+        src_on = link.src_island in powered
+        dst_on = link.dst_island in powered
+        if link.converter and src_on and dst_on:
+            idle = lib.fifo_idle_power_mw(
+                topology.island_freqs[link.src_island],
+                topology.island_freqs[link.dst_island],
+            )
+            fifo_idle += idle
+            dyn_by_island[link.dst_island] += idle
+            leakage += lib.fifo_leakage_mw()
+            leak_by_island[link.dst_island] += lib.fifo_leakage_mw()
+        if src_on and dst_on and link.kind == "sw2sw":
+            leak = lib.link_leakage_mw(link.length_mm if use_lengths else 0.0)
+            leakage += leak
+            leak_by_island[link.src_island] += leak
+
+    switch_traffic = ni_traffic = link_traffic = fifo_traffic = 0.0
+    for key in sorted(active):
+        if key not in topology.routes:
+            continue
+        flow = spec.flow(*key)
+        bw = flow.bandwidth_mbps
+        route = topology.routes[key]
+        # NI energy at both ends.
+        p = units.traffic_power_mw(bw, 2.0 * lib.ni_ebit_pj)
+        ni_traffic += p
+        dyn_by_island[spec.island_of(flow.src)] += p / 2.0
+        dyn_by_island[spec.island_of(flow.dst)] += p / 2.0
+        for comp in route.components[1:-1]:
+            sw = topology.switches[comp]
+            p = units.traffic_power_mw(
+                bw, lib.switch_ebit_pj(max(sw.n_in, 1), max(sw.n_out, 1))
+            )
+            switch_traffic += p
+            dyn_by_island[sw.island] += p
+        for lid in route.links:
+            link = topology.links[lid]
+            length = link.length_mm if use_lengths else 0.0
+            p = units.traffic_power_mw(bw, lib.link_ebit_pj(length))
+            link_traffic += p
+            dyn_by_island[link.src_island] += p
+            if link.converter:
+                p = units.traffic_power_mw(bw, lib.fifo_ebit_pj)
+                fifo_traffic += p
+                dyn_by_island[link.dst_island] += p
+
+    return NocPower(
+        switch_idle_mw=switch_idle,
+        switch_traffic_mw=switch_traffic,
+        ni_idle_mw=ni_idle,
+        ni_traffic_mw=ni_traffic,
+        link_traffic_mw=link_traffic,
+        fifo_idle_mw=fifo_idle,
+        fifo_traffic_mw=fifo_traffic,
+        leakage_mw=leakage,
+        dynamic_by_island=dyn_by_island,
+        leakage_by_island=leak_by_island,
+    )
+
+
+def noc_area_mm2(topology: Topology) -> float:
+    """Total silicon area of the NoC components (switches, NIs, FIFOs)."""
+    lib = topology.library
+    area = sum(
+        lib.switch_area_mm2(max(s.n_in, 1), max(s.n_out, 1))
+        for s in topology.switches.values()
+    )
+    area += len(topology.nis) * lib.ni_area_mm2
+    area += topology.num_converters() * lib.fifo_area_mm2
+    return area

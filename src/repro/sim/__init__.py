@@ -1,0 +1,6 @@
+"""Latency and energy simulation.
+
+Modules: the analytic zero-load model (`zero_load`), a discrete-event
+packet simulator (`flit_sim`) on the event kernel (`events`), use-case
+scenarios (`scenarios`) and device-level energy profiles (`profile`).
+"""

@@ -1,0 +1,63 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic event queue used by the flit-level NoC
+simulator.  Events are ``(time_ns, sequence, payload)`` triples; the
+monotonically increasing sequence number makes simultaneous events fire
+in schedule order, which keeps multi-clock (GALS) simulations exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class EventQueue:
+    """Priority queue of timestamped events."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Any]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time_ns: float, payload: Any) -> None:
+        """Schedule ``payload`` at ``time_ns``."""
+        if time_ns < 0:
+            raise ValueError("event time must be >= 0, got %r" % time_ns)
+        heapq.heappush(self._heap, (time_ns, self._seq, payload))
+        self._seq += 1
+
+    def pop(self) -> Tuple[float, Any]:
+        """Remove and return the earliest ``(time_ns, payload)``."""
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        time_ns, _, payload = heapq.heappop(self._heap)
+        return time_ns, payload
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next event, or None when empty."""
+        return self._heap[0][0] if self._heap else None
+
+
+def run_until(
+    queue: EventQueue,
+    handler: Callable[[float, Any], None],
+    end_time_ns: float,
+) -> int:
+    """Drain the queue through ``handler`` until ``end_time_ns``.
+
+    Returns the number of events processed.  Events scheduled at or
+    after the horizon stay in the queue.
+    """
+    processed = 0
+    while len(queue):
+        t = queue.peek_time()
+        if t is None or t >= end_time_ns:
+            break
+        t, payload = queue.pop()
+        handler(t, payload)
+        processed += 1
+    return processed

@@ -1,0 +1,118 @@
+"""Zero-load latency evaluation (the paper's latency metric).
+
+Section 5: "The latency quoted is the number of cycles needed to
+transfer a single chunk of the packet from the output of the source NI
+until the input of the destination NI under zero-load conditions.  When
+packets cross the islands, a 4 cycle delay is incurred on the
+voltage-frequency converters."
+
+Accounting used here (and calibrated to reproduce Figure 3's shape):
+
+* NI-to-switch attachment links are port connections — 0 cycles;
+* each switch traversal costs ``library.switch_traversal_cycles`` (1);
+* each intra-island switch-to-switch link costs
+  ``library.link_traversal_cycles`` (1), or more after floorplanning if
+  the placed wire exceeds one clock of reach;
+* each island-crossing link costs ``library.fifo_crossing_cycles`` (4),
+  which covers the bi-synchronous FIFO plus the over-the-cell wire.
+
+So the minimum is 1 cycle (two cores on one switch) and a direct
+cross-island flow costs ``1 + 4 + 1 = 6`` cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..arch.topology import FlowKey, Link, Topology
+from ..exceptions import ValidationError
+
+
+def link_latency_cycles(topology: Topology, link: Link, use_lengths: bool = False) -> int:
+    """Latency contribution of one link on a route.
+
+    ``use_lengths`` switches to post-floorplan accounting where an
+    intra-island link longer than one cycle of wire reach costs extra
+    (pipelined) cycles.  Cross-island links always cost the fixed
+    converter crossing penalty.
+    """
+    lib = topology.library
+    if link.kind in ("ni2sw", "sw2ni"):
+        return 0
+    if link.converter:
+        return lib.fifo_crossing_cycles
+    if use_lengths and link.length_mm > 0.0:
+        return lib.link_cycles(link.length_mm, link.freq_mhz)
+    return lib.link_traversal_cycles
+
+
+def route_latency_cycles(
+    topology: Topology, flow_key: FlowKey, use_lengths: bool = False
+) -> int:
+    """Zero-load latency of one routed flow, in cycles."""
+    if flow_key not in topology.routes:
+        raise ValidationError("flow %s->%s has no route" % flow_key)
+    route = topology.routes[flow_key]
+    lib = topology.library
+    cycles = route.num_switches * lib.switch_traversal_cycles
+    for lid in route.links:
+        cycles += link_latency_cycles(topology, topology.links[lid], use_lengths)
+    return cycles
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Zero-load latency statistics over all routed flows."""
+
+    per_flow: Mapping[FlowKey, int]
+    average_cycles: float
+    bw_weighted_average_cycles: float
+    max_cycles: int
+    violations: Tuple[FlowKey, ...]
+
+    @property
+    def num_flows(self) -> int:
+        return len(self.per_flow)
+
+    @property
+    def meets_constraints(self) -> bool:
+        """True when every flow meets its latency budget."""
+        return not self.violations
+
+
+def evaluate_latency(topology: Topology, use_lengths: bool = False) -> LatencyReport:
+    """Zero-load latency report for every routed flow of a topology.
+
+    ``average_cycles`` is the plain mean over flows — the quantity
+    Figure 3 plots; the bandwidth-weighted variant is also reported for
+    analysis.
+    """
+    spec = topology.spec
+    per_flow: Dict[FlowKey, int] = {}
+    violations: List[FlowKey] = []
+    total_bw = 0.0
+    weighted = 0.0
+    for flow in spec.flows:
+        cycles = route_latency_cycles(topology, flow.key, use_lengths)
+        per_flow[flow.key] = cycles
+        if cycles > flow.latency_cycles + 1e-9:
+            violations.append(flow.key)
+        total_bw += flow.bandwidth_mbps
+        weighted += cycles * flow.bandwidth_mbps
+    if not per_flow:
+        return LatencyReport(
+            per_flow={},
+            average_cycles=0.0,
+            bw_weighted_average_cycles=0.0,
+            max_cycles=0,
+            violations=(),
+        )
+    avg = sum(per_flow.values()) / float(len(per_flow))
+    return LatencyReport(
+        per_flow=per_flow,
+        average_cycles=avg,
+        bw_weighted_average_cycles=weighted / total_bw if total_bw > 0 else 0.0,
+        max_cycles=max(per_flow.values()),
+        violations=tuple(violations),
+    )

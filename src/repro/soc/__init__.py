@@ -1,0 +1,6 @@
+"""SoC benchmark substrate.
+
+Modules: the built-in benchmark suite (`benchmarks`), the parametric
+generator incl. the hub-and-spoke stress design (`generator`), island
+assignment strategies (`partitioning`) and scenario sets (`usecases`).
+"""

@@ -1,0 +1,100 @@
+"""Use-case scenario sets for the built-in benchmarks.
+
+These drive the leakage/shutdown study (the paper's "shutdown of cores
+can lead to ... even 25% or more reduction in overall system power").
+Time fractions reflect how a mobile device actually spends its day:
+mostly idle or doing one lightweight thing, with bursts of full load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.spec import SoCSpec
+from ..exceptions import SpecError
+from ..sim.scenarios import UseCase, make_use_case
+
+
+def mobile_use_cases() -> List[UseCase]:
+    """Operating modes of the 26-core mobile SoC (``d26_media``)."""
+    return [
+        make_use_case(
+            "full_load",
+            [
+                "arm0", "arm1", "l2cache", "dsp0", "dsp1", "dsp2",
+                "sdram0", "sdram1", "sram0", "sram1", "rom", "dma",
+                "vld", "idct", "mc", "vout", "disp", "cam", "imgenc",
+                "audio_io", "usb", "uart", "spi", "keypad", "timer", "bridge",
+            ],
+            time_fraction=0.10,
+        ),
+        make_use_case(
+            "video_playback",
+            [
+                "arm0", "l2cache", "sdram0", "sdram1",
+                "vld", "idct", "mc", "vout", "disp",
+                "dsp1", "audio_io", "sram1", "bridge", "timer",
+            ],
+            time_fraction=0.20,
+        ),
+        make_use_case(
+            "audio_playback",
+            ["arm0", "l2cache", "sdram0", "dsp1", "audio_io", "sram1", "bridge", "timer"],
+            time_fraction=0.25,
+        ),
+        make_use_case(
+            "camera_capture",
+            [
+                "arm0", "l2cache", "sdram0", "sdram1",
+                "cam", "imgenc", "dsp2", "sram0", "disp", "bridge", "timer",
+            ],
+            time_fraction=0.10,
+        ),
+        make_use_case(
+            "standby",
+            ["bridge", "keypad", "timer", "sram1"],
+            time_fraction=0.35,
+        ),
+    ]
+
+
+def generic_use_cases(spec: SoCSpec) -> List[UseCase]:
+    """Heuristic scenario set for any benchmark.
+
+    Builds three modes from core kinds: full load, a compute-light mode
+    (CPU + memories + peripherals) and a standby mode (peripherals plus
+    one memory).  Good enough for suite-wide shutdown sweeps where no
+    hand-written scenario set exists.
+    """
+    names = spec.core_names
+    kinds = {c.name: c.kind for c in spec.cores}
+    mems = [n for n in names if kinds[n] == "memory"]
+    cpuish = [n for n in names if kinds[n] in ("cpu", "cache")]
+    periph = [n for n in names if kinds[n] in ("peripheral", "bridge", "io")]
+    if not mems or not cpuish:
+        raise SpecError("spec %r lacks memory or cpu cores for generic scenarios" % spec.name)
+    light = cpuish + mems[:1] + periph
+    standby = (periph or cpuish[:1]) + mems[:1]
+    return [
+        make_use_case("full_load", names, time_fraction=0.25),
+        make_use_case("light_compute", light, time_fraction=0.40),
+        make_use_case("standby", standby, time_fraction=0.35),
+    ]
+
+
+#: Scenario registry keyed by benchmark name.
+USE_CASE_SETS: Dict[str, object] = {
+    "d26_media": mobile_use_cases,
+}
+
+
+def use_cases_for(spec: SoCSpec) -> List[UseCase]:
+    """Scenario set for a benchmark: curated if available, else generic."""
+    factory = USE_CASE_SETS.get(spec.name)
+    if factory is not None:
+        cases = factory()  # type: ignore[operator]
+    else:
+        cases = generic_use_cases(spec)
+    for case in cases:
+        case.validate_against(spec)
+    return cases

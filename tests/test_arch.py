@@ -1,0 +1,113 @@
+"""Routing views and structural validation."""
+
+import pytest
+
+from repro import ValidationError, validate_topology
+from repro.arch.routing import (
+    channel_dependency_graph,
+    find_cdg_cycle,
+    flows_through_switch,
+    hop_histogram,
+    is_deadlock_free,
+    route_table,
+)
+from repro.arch.validate import audit_shutdown_safety
+
+
+class TestRouteTable:
+    def test_covers_flows_through_switch(self, tiny_best, tiny_spec):
+        topo = tiny_best.topology
+        for sid in topo.switches:
+            table = route_table(topo, sid)
+            for key, nxt in table.items():
+                route = topo.routes[key]
+                i = route.components.index(sid)
+                assert route.components[i + 1] == nxt
+
+    def test_unknown_switch_raises(self, tiny_best):
+        with pytest.raises(ValidationError):
+            route_table(tiny_best.topology, "sw9.9")
+
+    def test_flows_through_switch_consistent(self, tiny_best):
+        topo = tiny_best.topology
+        total = sum(len(flows_through_switch(topo, s)) for s in topo.switches)
+        expected = sum(r.num_switches for r in topo.routes.values())
+        assert total == expected
+
+
+class TestDeadlock:
+    def test_cdg_nodes_are_links(self, tiny_best):
+        topo = tiny_best.topology
+        cdg = channel_dependency_graph(topo)
+        assert set(cdg) == set(topo.links)
+
+    def test_synthesized_designs_deadlock_free(self, tiny_space):
+        # The island-transition DAG plus NI-rooted trees makes cycles
+        # unlikely; every saved point should pass the Dally/Seitz check.
+        for point in tiny_space:
+            assert is_deadlock_free(point.topology)
+
+    def test_d26_points_deadlock_free(self, d26_space):
+        for point in list(d26_space)[:5]:
+            assert find_cdg_cycle(point.topology) is None
+
+    def test_hop_histogram(self, tiny_best, tiny_spec):
+        hist = hop_histogram(tiny_best.topology)
+        assert sum(hist.values()) == len(tiny_spec.flows)
+        assert all(k >= 1 for k in hist)
+
+
+class TestValidate:
+    def test_synthesized_topology_passes(self, tiny_best):
+        validate_topology(tiny_best.topology)
+
+    def test_audit_clean_on_synthesized(self, tiny_best):
+        assert audit_shutdown_safety(tiny_best.topology) == []
+
+    def test_detects_missing_route(self, tiny_spec):
+        from repro import DEFAULT_LIBRARY, Topology
+
+        topo = Topology(tiny_spec, DEFAULT_LIBRARY, {0: 200.0, 1: 100.0})
+        sw = topo.add_switch(0, 0)
+        for c in tiny_spec.cores_in_island(0):
+            topo.attach_core(c, sw)
+        with pytest.raises(ValidationError, match="not attached"):
+            validate_topology(topo)
+
+    def test_detects_port_bookkeeping_corruption(self, tiny_space):
+        import copy
+
+        point = tiny_space.points[0]
+        topo = copy.deepcopy(point.topology)
+        some_switch = next(iter(topo.switches.values()))
+        some_switch.n_in += 1
+        with pytest.raises(ValidationError, match="bookkeeping"):
+            validate_topology(topo)
+
+    def test_detects_size_bound_violation(self, tiny_best):
+        tight = {isl: 1 for isl in tiny_best.topology.island_freqs}
+        with pytest.raises(ValidationError, match="max size"):
+            validate_topology(tiny_best.topology, max_switch_sizes=tight)
+
+    def test_detects_overloaded_link(self, tiny_space):
+        import copy
+
+        topo = copy.deepcopy(tiny_space.points[0].topology)
+        link = next(l for l in topo.links.values() if l.kind == "sw2sw")
+        link.flows.append((("fake", "flow"), link.capacity_mbps * 2))
+        with pytest.raises(ValidationError, match="overloaded"):
+            validate_topology(topo)
+
+    def test_detects_shutdown_violation(self, tiny_space):
+        import copy
+
+        from repro.arch.topology import INTERMEDIATE_ISLAND
+
+        topo = copy.deepcopy(tiny_space.points[0].topology)
+        # Relabel a switch used by an intra-island flow into the other
+        # island: its flows now cross a third-party island.
+        flow = ("cpu", "mem")
+        sw = topo.route_switches(flow)[0]
+        sw.island = 1
+        violations = audit_shutdown_safety(topo)
+        assert any(v.flow == flow for v in violations)

@@ -1,0 +1,74 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_synth_defaults(self):
+        args = build_parser().parse_args(["synth", "d26_media"])
+        assert args.islands == 4
+        assert args.strategy == "logical"
+
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["synth", "d26_media", "--strategy", "vibes"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "d26_media" in out
+        assert "d12_auto" in out
+
+    def test_synth_small_benchmark(self, capsys, tmp_path):
+        dot = str(tmp_path / "t.dot")
+        svg = str(tmp_path / "f.svg")
+        js = str(tmp_path / "t.json")
+        code = main(
+            [
+                "synth",
+                "d12_auto",
+                "--islands",
+                "3",
+                "--dot",
+                dot,
+                "--svg",
+                svg,
+                "--json",
+                js,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best by power" in out
+        for path in (dot, svg, js):
+            with open(path) as f:
+                assert f.read()
+
+    def test_synth_unknown_benchmark_fails_cleanly(self, capsys):
+        with pytest.raises(KeyError):
+            main(["synth", "d999"])
+
+    def test_sweep(self, capsys, tmp_path):
+        csv = str(tmp_path / "sweep.csv")
+        code = main(["sweep", "d12_auto", "--counts", "1,2", "--csv", csv])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "logical" in out and "communication" in out
+        with open(csv) as f:
+            header = f.readline()
+        assert "noc_power_mw" in header
+
+    def test_shutdown(self, capsys):
+        code = main(["shutdown", "d12_auto", "--islands", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "vi_aware" in out and "vi_oblivious" in out
+        assert "weighted savings" in out

@@ -1,0 +1,181 @@
+"""Min-cut partitioner: correctness, constraints, determinism, quality."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import PartitionError, partition_graph
+from repro.core.partition import build_adjacency, cut_weight
+
+
+def two_clusters():
+    """Two 4-cliques joined by one weak edge: the obvious bisection."""
+    nodes = list("abcdefgh")
+    w = {}
+    for grp in ("abcd", "efgh"):
+        for i, u in enumerate(grp):
+            for v in grp[i + 1:]:
+                w[(u, v)] = 10.0
+    w[("d", "e")] = 0.5
+    return nodes, w
+
+
+class TestBasics:
+    def test_k1_returns_everything(self):
+        nodes, w = two_clusters()
+        parts = partition_graph(nodes, w, 1)
+        assert parts == [set(nodes)]
+
+    def test_kn_returns_singletons(self):
+        nodes, w = two_clusters()
+        parts = partition_graph(nodes, w, len(nodes))
+        assert all(len(p) == 1 for p in parts)
+        assert set().union(*parts) == set(nodes)
+
+    def test_k2_finds_the_obvious_cut(self):
+        nodes, w = two_clusters()
+        parts = partition_graph(nodes, w, 2)
+        assert sorted(map(sorted, parts)) == [list("abcd"), list("efgh")]
+
+    def test_cut_weight_of_obvious_cut(self):
+        nodes, w = two_clusters()
+        adj = build_adjacency(nodes, w)
+        parts = partition_graph(nodes, w, 2)
+        assert cut_weight(adj, parts) == pytest.approx(0.5)
+
+    def test_k3_covers_all_nodes(self):
+        nodes, w = two_clusters()
+        parts = partition_graph(nodes, w, 3)
+        assert set().union(*parts) == set(nodes)
+        assert len(parts) == 3
+
+    def test_disconnected_graph(self):
+        nodes = ["a", "b", "c", "d"]
+        parts = partition_graph(nodes, {}, 2)
+        assert len(parts) == 2
+        assert set().union(*parts) == set(nodes)
+
+
+class TestConstraints:
+    def test_rejects_k_too_large(self):
+        with pytest.raises(PartitionError):
+            partition_graph(["a", "b"], {}, 3)
+
+    def test_rejects_k_zero(self):
+        with pytest.raises(PartitionError):
+            partition_graph(["a"], {}, 0)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(PartitionError):
+            partition_graph(["a", "a"], {}, 1)
+
+    def test_rejects_unknown_edge_nodes(self):
+        with pytest.raises(PartitionError):
+            partition_graph(["a"], {("a", "ghost"): 1.0}, 1)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(PartitionError):
+            partition_graph(["a", "b"], {("a", "b"): -1.0}, 1)
+
+    def test_rejects_impossible_size_bound(self):
+        with pytest.raises(PartitionError):
+            partition_graph(list("abcdef"), {}, 2, max_part_size=2)
+
+    def test_max_part_size_respected(self):
+        nodes, w = two_clusters()
+        for k in (2, 3, 4):
+            parts = partition_graph(nodes, w, k, max_part_size=4)
+            assert all(len(p) <= 4 for p in parts)
+
+    def test_tight_size_bound(self):
+        nodes, w = two_clusters()
+        parts = partition_graph(nodes, w, 4, max_part_size=2)
+        assert all(len(p) == 2 for p in parts)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(PartitionError):
+            partition_graph(["a", "b"], {}, 2, method="magic")
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        nodes, w = two_clusters()
+        a = partition_graph(nodes, w, 3, seed=7)
+        b = partition_graph(nodes, w, 3, seed=7)
+        assert a == b
+
+    def test_node_order_irrelevant(self):
+        nodes, w = two_clusters()
+        a = partition_graph(nodes, w, 2, seed=0)
+        b = partition_graph(list(reversed(nodes)), w, 2, seed=0)
+        assert sorted(map(sorted, a)) == sorted(map(sorted, b))
+
+
+class TestQuality:
+    def test_fm_beats_or_matches_random_split(self):
+        nodes, w = two_clusters()
+        adj = build_adjacency(nodes, w)
+        parts = partition_graph(nodes, w, 2)
+        naive = [set("aceg"), set("bdfh")]  # interleaved: bad cut
+        assert cut_weight(adj, parts) < cut_weight(adj, naive)
+
+    def test_greedy_method_works(self):
+        nodes, w = two_clusters()
+        parts = partition_graph(nodes, w, 2, method="greedy")
+        assert sorted(map(sorted, parts)) == [list("abcd"), list("efgh")]
+
+    def test_heavy_pair_stays_together(self):
+        nodes = ["a", "b", "c", "d"]
+        w = {("a", "b"): 100.0, ("c", "d"): 0.1, ("b", "c"): 0.1}
+        parts = partition_graph(nodes, w, 2)
+        joined = [p for p in parts if "a" in p][0]
+        assert "b" in joined
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    nodes = ["n%d" % i for i in range(n)]
+    m = draw(st.integers(min_value=0, max_value=n * (n - 1) // 2))
+    edges = {}
+    for _ in range(m):
+        i = draw(st.integers(min_value=0, max_value=n - 1))
+        j = draw(st.integers(min_value=0, max_value=n - 1))
+        if i != j:
+            wt = draw(st.floats(min_value=0.0, max_value=100.0))
+            edges[(nodes[i], nodes[j])] = wt
+    k = draw(st.integers(min_value=1, max_value=n))
+    return nodes, edges, k
+
+
+class TestPartitionProperties:
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_partition_is_a_cover(self, data):
+        nodes, edges, k = data
+        parts = partition_graph(nodes, edges, k, seed=3)
+        assert len(parts) == k
+        # disjoint
+        seen = set()
+        for p in parts:
+            assert p, "no empty parts"
+            assert not (p & seen)
+            seen |= p
+        # covering
+        assert seen == set(nodes)
+
+    @given(random_graphs(), st.integers(min_value=1, max_value=12))
+    @settings(max_examples=40, deadline=None)
+    def test_size_bound_honoured_when_feasible(self, data, bound):
+        nodes, edges, k = data
+        if k * bound < len(nodes):
+            return  # infeasible combination; rejection tested elsewhere
+        parts = partition_graph(nodes, edges, k, max_part_size=bound, seed=1)
+        assert all(len(p) <= bound for p in parts)
+
+    @given(random_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic(self, data):
+        nodes, edges, k = data
+        assert partition_graph(nodes, edges, k, seed=9) == partition_graph(
+            nodes, edges, k, seed=9
+        )

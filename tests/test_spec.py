@@ -1,0 +1,168 @@
+"""SoC specification model: validation, accessors, derivation."""
+
+import pytest
+
+from repro import CoreSpec, SoCSpec, SpecError, TrafficFlow, build_spec
+
+from conftest import make_tiny_spec
+
+
+def core(name, **kw):
+    defaults = dict(area_mm2=1.0, dynamic_power_mw=10.0, leakage_power_mw=2.0)
+    defaults.update(kw)
+    return CoreSpec(name, **defaults)
+
+
+class TestCoreSpec:
+    def test_valid_core(self):
+        c = core("a", kind="cpu", group="compute")
+        assert c.name == "a"
+        assert c.kind == "cpu"
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("area_mm2", 0.0),
+            ("area_mm2", -1.0),
+            ("dynamic_power_mw", -0.1),
+            ("leakage_power_mw", -0.1),
+            ("freq_mhz", 0.0),
+        ],
+    )
+    def test_rejects_bad_numbers(self, field, value):
+        with pytest.raises(SpecError):
+            core("a", **{field: value})
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SpecError):
+            core("")
+
+
+class TestTrafficFlow:
+    def test_key(self):
+        f = TrafficFlow("a", "b", 10.0)
+        assert f.key == ("a", "b")
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(SpecError):
+            TrafficFlow("a", "a", 10.0)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(SpecError):
+            TrafficFlow("a", "b", 0.0)
+
+    def test_rejects_nonpositive_latency(self):
+        with pytest.raises(SpecError):
+            TrafficFlow("a", "b", 1.0, latency_cycles=0.0)
+
+
+class TestSoCSpecValidation:
+    def test_duplicate_core_names_rejected(self):
+        with pytest.raises(SpecError, match="duplicate core"):
+            build_spec("x", [core("a"), core("a")], [])
+
+    def test_flow_to_unknown_core_rejected(self):
+        with pytest.raises(SpecError, match="unknown"):
+            build_spec("x", [core("a")], [TrafficFlow("a", "ghost", 1.0)])
+
+    def test_duplicate_flow_rejected(self):
+        with pytest.raises(SpecError, match="duplicate flow"):
+            build_spec(
+                "x",
+                [core("a"), core("b")],
+                [TrafficFlow("a", "b", 1.0), TrafficFlow("a", "b", 2.0)],
+            )
+
+    def test_default_assignment_is_single_island(self):
+        s = build_spec("x", [core("a"), core("b")], [])
+        assert s.num_islands == 1
+        assert s.island_of("a") == 0
+
+    def test_partial_assignment_rejected(self):
+        with pytest.raises(SpecError, match="misses"):
+            build_spec("x", [core("a"), core("b")], [], {"a": 0})
+
+    def test_sparse_island_ids_rejected(self):
+        with pytest.raises(SpecError, match="dense"):
+            build_spec("x", [core("a"), core("b")], [], {"a": 0, "b": 2})
+
+    def test_negative_island_id_rejected(self):
+        with pytest.raises(SpecError, match="non-negative"):
+            build_spec("x", [core("a"), core("b")], [], {"a": 0, "b": -1})
+
+    def test_assignment_of_unknown_core_rejected(self):
+        with pytest.raises(SpecError, match="unknown"):
+            build_spec("x", [core("a")], [], {"a": 0, "ghost": 0})
+
+    def test_needs_at_least_one_core(self):
+        with pytest.raises(SpecError):
+            SoCSpec(name="x", cores=(), flows=())
+
+
+class TestAccessors:
+    def test_islands_sorted_dense(self, tiny_spec):
+        assert tiny_spec.islands == [0, 1]
+
+    def test_cores_in_island(self, tiny_spec):
+        assert tiny_spec.cores_in_island(0) == ["cpu", "mem", "acc"]
+        assert tiny_spec.cores_in_island(1) == ["io0", "io1", "per"]
+
+    def test_core_lookup(self, tiny_spec):
+        assert tiny_spec.core("cpu").kind == "cpu"
+        with pytest.raises(SpecError):
+            tiny_spec.core("ghost")
+
+    def test_flow_lookup(self, tiny_spec):
+        assert tiny_spec.flow("cpu", "mem").bandwidth_mbps == 400.0
+        with pytest.raises(SpecError):
+            tiny_spec.flow("mem", "acc")
+
+    def test_flows_within_and_across(self, tiny_spec):
+        within0 = {f.key for f in tiny_spec.flows_within_island(0)}
+        assert within0 == {("cpu", "mem"), ("mem", "cpu"), ("acc", "mem")}
+        across = {f.key for f in tiny_spec.flows_across_islands()}
+        assert ("cpu", "io0") in across
+        assert ("cpu", "mem") not in across
+
+    def test_extremes(self, tiny_spec):
+        assert tiny_spec.max_bandwidth_mbps == 480.0
+        assert tiny_spec.min_latency_cycles == 8.0
+
+    def test_core_peak_bandwidth_uses_max_direction(self, tiny_spec):
+        # mem receives 400 + 200 = 600, sends 480 -> peak is 600.
+        assert tiny_spec.core_peak_bandwidth_mbps("mem") == 600.0
+
+    def test_island_peak_bandwidth(self, tiny_spec):
+        assert tiny_spec.island_peak_bandwidth_mbps(0) == 600.0
+        # io island: io1 receives 40 + 2 = 42.
+        assert tiny_spec.island_peak_bandwidth_mbps(1) == 42.0
+
+    def test_aggregates(self, tiny_spec):
+        assert tiny_spec.total_core_area_mm2 == pytest.approx(6.9)
+        assert tiny_spec.total_core_dynamic_power_mw == pytest.approx(255.0)
+        assert tiny_spec.total_core_leakage_power_mw == pytest.approx(98.0)
+        assert tiny_spec.total_flow_bandwidth_mbps == pytest.approx(1134.0)
+
+
+class TestDerivation:
+    def test_single_island(self, tiny_spec):
+        flat = tiny_spec.single_island()
+        assert flat.num_islands == 1
+        assert set(flat.core_names) == set(tiny_spec.core_names)
+
+    def test_with_vi_assignment_returns_new_spec(self, tiny_spec):
+        new = tiny_spec.with_vi_assignment(
+            {c: 0 for c in tiny_spec.core_names}, name="renamed"
+        )
+        assert new.name == "renamed"
+        assert tiny_spec.num_islands == 2  # original untouched
+
+    def test_three_island_variant(self):
+        s = make_tiny_spec(3)
+        assert s.num_islands == 3
+        assert s.cores_in_island(1) == ["acc"]
+
+    def test_communication_matrix(self, tiny_spec):
+        m = tiny_spec.communication_matrix()
+        assert m[("cpu", "mem")] == 400.0
+        assert len(m) == len(tiny_spec.flows)
