@@ -1,0 +1,36 @@
+"""Shared helpers for the experiment benches.
+
+Importable utilities live here rather than in ``conftest.py`` so that
+bench modules can name their imports explicitly (``from _bench_utils
+import write_result``).  ``tests/`` and ``benchmarks/`` both land on
+``sys.path`` under pytest's rootdir import mode, and two modules both
+called ``conftest`` shadow each other — helper code must carry a unique
+module name.  Fixtures stay in ``benchmarks/conftest.py``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import SynthesisConfig
+from repro.io.report import save_csv
+
+#: Island counts on the x-axis of Figures 2 and 3.
+ISLAND_COUNTS = [1, 2, 3, 4, 5, 6, 7, 26]
+
+#: Synthesis config used by the benches: full algorithm, bounded
+#: intermediate-island sweep to keep the wall-clock sane.
+BENCH_CONFIG = SynthesisConfig(max_intermediate=2)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_result(name: str, table: str, rows=None, columns=None) -> str:
+    """Persist a bench's table (and optional CSV) under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name + ".txt")
+    with open(path, "w") as f:
+        f.write(table)
+    if rows:
+        save_csv(rows, os.path.join(RESULTS_DIR, name + ".csv"), columns)
+    return path

@@ -10,7 +10,7 @@ tightness (performance-biased).
 
 from __future__ import annotations
 
-from conftest import write_result
+from _bench_utils import write_result
 from repro import SynthesisConfig, synthesize
 from repro.io.report import format_table
 from repro.soc.benchmarks import mobile_soc_26

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 
-from conftest import write_result
+from _bench_utils import write_result
 from repro import NocLibrary, SynthesisConfig, synthesize
 from repro.core.frequency import plan_all_islands
 from repro.io.report import format_table

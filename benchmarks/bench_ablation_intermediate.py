@@ -11,7 +11,7 @@ cross-island link pressure grows.
 
 from __future__ import annotations
 
-from conftest import write_result
+from _bench_utils import write_result
 from repro import InfeasibleError, SynthesisConfig, synthesize
 from repro.io.report import format_table
 from repro.soc.benchmarks import mobile_soc_26

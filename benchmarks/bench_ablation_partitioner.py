@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 
-from conftest import write_result
+from _bench_utils import write_result
 from repro import SynthesisConfig, synthesize
 from repro.core.partition import build_adjacency, cut_weight, partition_graph
 from repro.io.report import format_table

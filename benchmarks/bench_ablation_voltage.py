@@ -9,7 +9,7 @@ bench quantifies that compounding across the island-count sweep.
 
 from __future__ import annotations
 
-from conftest import ISLAND_COUNTS, write_result
+from _bench_utils import ISLAND_COUNTS, write_result
 from repro.io.report import format_table, percent
 from repro.power.voltage import voltage_aware_noc_power
 

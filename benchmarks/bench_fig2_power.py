@@ -17,7 +17,7 @@ This bench regenerates the two series and asserts those relations.
 
 from __future__ import annotations
 
-from conftest import ISLAND_COUNTS, write_result
+from _bench_utils import ISLAND_COUNTS, write_result
 from repro.io.report import format_table
 
 

@@ -8,7 +8,7 @@ with increasing number of islands, the latencies increase."  The
 
 from __future__ import annotations
 
-from conftest import ISLAND_COUNTS, write_result
+from _bench_utils import ISLAND_COUNTS, write_result
 from repro.io.report import format_table
 
 

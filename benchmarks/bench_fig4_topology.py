@@ -10,7 +10,7 @@ crossings, every core hanging off a same-island switch.
 
 from __future__ import annotations
 
-from conftest import write_result
+from _bench_utils import write_result
 from repro.arch.routing import hop_histogram
 from repro.arch.validate import audit_shutdown_safety
 from repro.io.dot import topology_to_dot

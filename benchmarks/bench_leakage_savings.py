@@ -13,7 +13,7 @@ time-weighted savings.
 
 from __future__ import annotations
 
-from conftest import BENCH_CONFIG, write_result
+from _bench_utils import BENCH_CONFIG, write_result
 from repro import synthesize
 from repro.baseline.flat import synthesize_vi_oblivious
 from repro.baseline.checker import compare_shutdown_capability

@@ -13,7 +13,7 @@ dynamic-power and area overheads.
 
 from __future__ import annotations
 
-from conftest import BENCH_CONFIG, write_result
+from _bench_utils import BENCH_CONFIG, write_result
 from repro import synthesize
 from repro.io.report import format_table, percent
 from repro.power.soc_power import area_overhead_fraction, dynamic_overhead_fraction

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 
-from conftest import write_result
+from _bench_utils import write_result
 from repro import SynthesisConfig, synthesize
 from repro.core.partition import partition_graph
 from repro.core.vcg import build_global_vcg

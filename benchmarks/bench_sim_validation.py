@@ -9,7 +9,7 @@ rises toward the spec rates).
 
 from __future__ import annotations
 
-from conftest import write_result
+from _bench_utils import write_result
 from repro.io.report import format_table
 from repro.sim.flit_sim import FlitSimConfig, simulate
 

@@ -1,4 +1,4 @@
-"""Shared infrastructure for the experiment benches.
+"""Shared fixtures for the experiment benches.
 
 Every bench regenerates one artifact of the paper (a figure's data
 series or a text-table claim), prints it as an aligned table and writes
@@ -6,40 +6,40 @@ it under ``benchmarks/results/`` so the numbers survive pytest's output
 capture.  Heavy sweeps are computed once per session and shared (the
 Figure 2 and Figure 3 benches read the same island-count sweep, exactly
 like the paper plots two views of one experiment).
+
+Importable helpers (``write_result``, ``BENCH_CONFIG``, ...) live in
+:mod:`_bench_utils`; only fixtures and collection hooks belong here.
+All benches are marked ``slow`` so the tier-1 run (``pytest -m "not
+slow"`` via ``pytest.ini``) stays fast; run them with
+``pytest benchmarks -m slow``.
 """
 
 from __future__ import annotations
 
 import os
-import time
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 import pytest
 
-from repro import DesignPoint, SynthesisConfig, synthesize
-from repro.io.report import format_table, save_csv
+from repro import DesignPoint, synthesize
 from repro.soc.benchmarks import mobile_soc_26
 from repro.soc.partitioning import communication_partitioning, logical_partitioning
 
-#: Island counts on the x-axis of Figures 2 and 3.
-ISLAND_COUNTS = [1, 2, 3, 4, 5, 6, 7, 26]
-
-#: Synthesis config used by the benches: full algorithm, bounded
-#: intermediate-island sweep to keep the wall-clock sane.
-BENCH_CONFIG = SynthesisConfig(max_intermediate=2)
-
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+from _bench_utils import BENCH_CONFIG, ISLAND_COUNTS
 
 
-def write_result(name: str, table: str, rows=None, columns=None) -> str:
-    """Persist a bench's table (and optional CSV) under results/."""
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, name + ".txt")
-    with open(path, "w") as f:
-        f.write(table)
-    if rows:
-        save_csv(rows, os.path.join(RESULTS_DIR, name + ".csv"), columns)
-    return path
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every bench test ``slow`` (they re-run paper experiments).
+
+    The hook fires for the whole session, so restrict it to items that
+    actually live under ``benchmarks/``.
+    """
+    for item in items:
+        if str(item.path).startswith(_BENCH_DIR + os.sep):
+            item.add_marker(pytest.mark.slow)
 
 
 SweepKey = Tuple[int, str]

@@ -1,0 +1,223 @@
+#!/usr/bin/env python
+"""Synthesis perf harness — emits the machine-readable BENCH_synthesis.json.
+
+Runs the same scaling sweep as
+``benchmarks/bench_runtime.py::test_runtime_scaling_with_core_count``
+under a :class:`repro.perf.PerfRecorder`, plus two ablations:
+
+* **cache ablation** — one representative size synthesized with
+  ``enable_caches`` on and off, asserting the chosen design points are
+  identical (the fast path must not change results) and recording the
+  speedup;
+* **worker scaling** — the same exploration sweep at ``workers=1`` and
+  ``workers=N`` through :class:`repro.core.explore.ExplorationEngine`.
+
+The JSON is append-friendly for trend tracking: re-runs overwrite the
+file, so commit it (or archive it) per milestone.  See
+``docs/performance.md`` for the field-by-field reading guide.
+
+Usage::
+
+    python scripts/run_benchmarks.py                      # full run
+    python scripts/run_benchmarks.py --quick              # small sizes
+    python scripts/run_benchmarks.py --workers 4 \
+        --baseline-seconds 42.0 --baseline-label "pre-PR2 @daed751"
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro import SynthesisConfig, synthesize  # noqa: E402
+from repro.core.explore import ExplorationEngine  # noqa: E402
+from repro.perf import PerfRecorder, recording  # noqa: E402
+from repro.soc.generator import GeneratorConfig, generate_soc  # noqa: E402
+from repro.soc.partitioning import communication_partitioning  # noqa: E402
+
+#: Config mirroring benchmarks/bench_runtime.py's FAST sweep.
+FAST = SynthesisConfig(max_intermediate=1)
+#: Same knobs with every fast-path optimization disabled.
+FAST_UNCACHED = SynthesisConfig(max_intermediate=1, enable_caches=False)
+
+
+def _scaling_spec(n_cores: int):
+    spec = generate_soc(
+        GeneratorConfig(name="scale%d" % n_cores, num_cores=n_cores, num_groups=4, seed=7)
+    )
+    return communication_partitioning(spec, 4)
+
+
+def point_signature(space) -> List[Dict[str, object]]:
+    """Order-sensitive identity of every design point in a space."""
+    return [
+        {
+            "label": p.label(),
+            "noc_power_mw": round(p.power_mw, 9),
+            "avg_latency_cycles": round(p.avg_latency_cycles, 9),
+        }
+        for p in space.points
+    ]
+
+
+def run_scaling(sizes: List[int], recorder: PerfRecorder) -> Dict[str, object]:
+    """The cores-vs-seconds sweep, instrumented."""
+    rows = []
+    with recording(recorder):
+        for n_cores in sizes:
+            part = _scaling_spec(n_cores)
+            t0 = time.perf_counter()
+            space = synthesize(part, config=FAST)
+            dt = time.perf_counter() - t0
+            rows.append(
+                {
+                    "cores": n_cores,
+                    "flows": len(part.flows),
+                    "design_points": len(space),
+                    "seconds": round(dt, 4),
+                }
+            )
+            print("  %3d cores: %d design points in %.2fs" % (n_cores, len(space), dt))
+    return {
+        "rows": rows,
+        "total_seconds": round(sum(r["seconds"] for r in rows), 4),
+    }
+
+
+def run_cache_ablation(n_cores: int) -> Dict[str, object]:
+    """Cached vs uncached synthesis of one size; results must match."""
+    part = _scaling_spec(n_cores)
+    t0 = time.perf_counter()
+    cached = synthesize(part, config=FAST)
+    cached_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    uncached = synthesize(part, config=FAST_UNCACHED)
+    uncached_s = time.perf_counter() - t0
+    identical = point_signature(cached) == point_signature(uncached)
+    if not identical:
+        print("  WARNING: cached and uncached design points differ!", file=sys.stderr)
+    print(
+        "  %d cores: cached %.2fs, uncached %.2fs (%.2fx), identical=%s"
+        % (n_cores, cached_s, uncached_s, uncached_s / max(cached_s, 1e-9), identical)
+    )
+    return {
+        "cores": n_cores,
+        "cached_seconds": round(cached_s, 4),
+        "uncached_seconds": round(uncached_s, 4),
+        "speedup": round(uncached_s / max(cached_s, 1e-9), 3),
+        "identical_points": identical,
+    }
+
+
+def run_worker_scaling(n_cores: int, workers: int) -> List[Dict[str, object]]:
+    """The alpha sweep at 1 and N workers (same records either way)."""
+    part = _scaling_spec(n_cores)
+    alphas = [0.2, 0.4, 0.6, 0.8]
+    out = []
+    for w in sorted({1, workers}):
+        engine = ExplorationEngine(workers=w, config=FAST)
+        t0 = time.perf_counter()
+        records = engine.alpha_exploration(part, alphas)
+        dt = time.perf_counter() - t0
+        feasible = sum(1 for r in records if r.feasible)
+        print("  workers=%d: %d/%d feasible in %.2fs" % (w, feasible, len(records), dt))
+        out.append(
+            {
+                "workers": w,
+                "tasks": len(records),
+                "feasible": feasible,
+                "seconds": round(dt, 4),
+            }
+        )
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_synthesis.json"
+        ),
+        help="where to write the JSON record (default: repo root)",
+    )
+    parser.add_argument(
+        "--sizes",
+        default="10,20,30,40",
+        help="comma-separated core counts for the scaling sweep",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=max(2, (os.cpu_count() or 2) // 2),
+        help="pool size for the worker-scaling measurement",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes only (CI smoke mode)"
+    )
+    parser.add_argument(
+        "--baseline-seconds",
+        type=float,
+        default=None,
+        help="scaling-sweep total of a reference build, for the speedup field",
+    )
+    parser.add_argument(
+        "--baseline-label",
+        default="baseline",
+        help="where --baseline-seconds came from (commit, date, machine)",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    if args.quick:
+        sizes = [s for s in sizes if s <= 20] or sizes[:1]
+
+    print("scaling sweep (cores=%s):" % sizes)
+    recorder = PerfRecorder()
+    scaling = run_scaling(sizes, recorder)
+    print("cache ablation:")
+    ablation = run_cache_ablation(max(sizes))
+    print("worker scaling:")
+    worker_rows = run_worker_scaling(min(sizes), args.workers)
+
+    result: Dict[str, object] = {
+        "meta": {
+            "generated_unix": round(time.time(), 1),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "runtime_scaling": scaling,
+        "counters": recorder.counters,
+        "phase_seconds": {k: round(v, 4) for k, v in recorder.phase_seconds.items()},
+        "cache_ablation": ablation,
+        "worker_scaling": worker_rows,
+    }
+    if args.baseline_seconds is not None:
+        result["baseline"] = {
+            "label": args.baseline_label,
+            "total_seconds": args.baseline_seconds,
+            "speedup": round(
+                args.baseline_seconds / max(scaling["total_seconds"], 1e-9), 3
+            ),
+        }
+
+    out_path = os.path.abspath(args.output)
+    with open(out_path, "w") as f:
+        json.dump(result, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print("wrote %s" % out_path)
+    return 0 if ablation["identical_points"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -131,8 +131,7 @@ def break_deadlock_cycles(topology: Topology, max_iterations: int = 32) -> int:
             old_route = topology.routes[key]
             # Release the old route's bandwidth before searching.
             for lid in old_route.links:
-                link = topology.links[lid]
-                link.flows = [(k, bw) for k, bw in link.flows if k != key]
+                topology.links[lid].remove_flow(key)
             del topology.routes[key]
             new_links = _reroute_on_existing_links(topology, key, cyc_edges)
             if new_links is not None and _capacity_ok(topology, flow, new_links):

@@ -108,6 +108,25 @@ class Link:
     #: None = derive from islands; True/False = explicit override.
     has_converter: Optional[bool] = None
 
+    def __post_init__(self) -> None:
+        # Used bandwidth is kept incrementally (the path allocator reads
+        # residual capacity in its innermost loop; summing the flow list
+        # on every probe dominated the old profile).  Mutate the flow
+        # list only through add_flow/remove_flow so the cache stays true.
+        self._used_mbps = sum(bw for _, bw in self.flows)
+
+    def add_flow(self, key: FlowKey, bandwidth_mbps: float) -> None:
+        """Charge ``bandwidth_mbps`` of flow ``key`` to this link."""
+        self.flows.append((key, bandwidth_mbps))
+        self._used_mbps += bandwidth_mbps
+
+    def remove_flow(self, key: FlowKey) -> None:
+        """Release every charge of flow ``key`` from this link."""
+        kept = [(k, bw) for k, bw in self.flows if k != key]
+        if len(kept) != len(self.flows):
+            self.flows = kept
+            self._used_mbps = sum(bw for _, bw in kept)
+
     @property
     def crosses_islands(self) -> bool:
         """True if the endpoints live in different voltage islands."""
@@ -123,7 +142,7 @@ class Link:
     @property
     def used_mbps(self) -> float:
         """Bandwidth already routed over this link."""
-        return sum(bw for _, bw in self.flows)
+        return self._used_mbps
 
     @property
     def residual_mbps(self) -> float:
@@ -252,45 +271,109 @@ class Topology:
         self._links_by_pair.setdefault((src, dst), []).append(link.id)
         # NI-side ports are implicit (an NI always has exactly 1 in and
         # 1 out); only switch port counts are tracked for the size bound.
-        if kind in ("ni2sw", "sw2sw"):
+        if kind == "sw2sw":
             self.switches[dst].n_in += 1
-        if kind in ("sw2ni", "sw2sw"):
+            self.switches[src].n_out += 1
+        elif kind == "ni2sw":
+            self.switches[dst].n_in += 1
+        else:  # sw2ni
             self.switches[src].n_out += 1
         return link
 
-    def assign_route(self, flow: TrafficFlow, links: Sequence[int]) -> Route:
+    def assign_route(
+        self, flow: TrafficFlow, links: Sequence[int], validate: bool = True
+    ) -> Route:
         """Record the route of ``flow`` over the given link sequence.
 
         Verifies link continuity, endpoint correctness and capacity,
         then charges the flow's bandwidth to every link on the path.
+        ``validate=False`` skips the checks for callers that construct
+        routes correct by construction (the path allocator, whose every
+        reuse/open decision already enforced capacity); the final
+        :func:`repro.arch.validate.validate_topology` pass still audits
+        the result.
         """
         if flow.key in self.routes:
             raise ValidationError("flow %s->%s already routed" % flow.key)
         if not links:
             raise ValidationError("empty route for flow %s->%s" % flow.key)
-        comps: List[str] = [self.links[links[0]].src]
-        for lid in links:
-            link = self.links[lid]
-            if link.src != comps[-1]:
+        all_links = self.links
+        comps: List[str] = [all_links[links[0]].src]
+        if validate:
+            for lid in links:
+                link = all_links[lid]
+                if link.src != comps[-1]:
+                    raise ValidationError(
+                        "discontinuous route for flow %s->%s at link %d"
+                        % (flow.src, flow.dst, lid)
+                    )
+                comps.append(link.dst)
+            if comps[0] != ni_id(flow.src) or comps[-1] != ni_id(flow.dst):
                 raise ValidationError(
-                    "discontinuous route for flow %s->%s at link %d" % (flow.src, flow.dst, lid)
+                    "route for flow %s->%s does not join its NIs" % flow.key
                 )
-            comps.append(link.dst)
-        if comps[0] != ni_id(flow.src) or comps[-1] != ni_id(flow.dst):
-            raise ValidationError(
-                "route for flow %s->%s does not join its NIs" % flow.key
-            )
+            for lid in links:
+                link = all_links[lid]
+                if link.residual_mbps < flow.bandwidth_mbps - 1e-9:
+                    raise ValidationError(
+                        "link %d over capacity for flow %s->%s" % (lid, flow.src, flow.dst)
+                    )
+        else:
+            for lid in links:
+                comps.append(all_links[lid].dst)
+        key = flow.key
+        bw = flow.bandwidth_mbps
         for lid in links:
-            link = self.links[lid]
-            if link.residual_mbps < flow.bandwidth_mbps - 1e-9:
-                raise ValidationError(
-                    "link %d over capacity for flow %s->%s" % (lid, flow.src, flow.dst)
-                )
-        for lid in links:
-            self.links[lid].flows.append((flow.key, flow.bandwidth_mbps))
-        route = Route(flow=flow.key, components=tuple(comps), links=tuple(links))
-        self.routes[flow.key] = route
+            all_links[lid].add_flow(key, bw)
+        route = Route(flow=key, components=tuple(comps), links=tuple(links))
+        self.routes[key] = route
         return route
+
+    def clone_scaffold(self) -> "Topology":
+        """Structural copy of this topology for a fresh routing attempt.
+
+        The synthesis sweep routes the *same* switch/NI scaffold many
+        times (once per intermediate-switch count, once per port-reserve
+        retry); rebuilding it through :meth:`add_switch` /
+        :meth:`attach_core` re-validates spec invariants and re-derives
+        link capacities every time.  The clone copies the already-built
+        state instead — switches, NIs, links (with their flow charges),
+        routes, pair index and id counter — preserving insertion order
+        everywhere so a routing run on the clone is byte-identical to
+        one on a freshly constructed topology.  ``spec`` and ``library``
+        are immutable and shared; everything mutable is copied.
+        """
+        clone = Topology.__new__(Topology)
+        clone.spec = self.spec
+        clone.library = self.library
+        clone.island_freqs = dict(self.island_freqs)
+        # Components are copied via __new__ + __dict__ snapshot instead
+        # of their dataclass constructors: field-by-field __init__ (plus
+        # Link.__post_init__ re-summing the flow list) was the dominant
+        # cost of cloning at benchmark scale.  Mutable per-instance
+        # state (Switch port counts, Link flow charges) is what the
+        # copy isolates; ids, islands and frequencies are write-once.
+        sw_new = Switch.__new__
+        clone.switches = {}
+        for sid, sw in self.switches.items():
+            c = sw_new(Switch)
+            c.__dict__.update(sw.__dict__)
+            clone.switches[sid] = c
+        # NIs are write-once (no field changes after attach_core), so
+        # clones share the objects and copy only the dict.
+        clone.nis = dict(self.nis)
+        link_new = Link.__new__
+        clone.links = {}
+        for lid, l in self.links.items():
+            c = link_new(Link)
+            c.__dict__.update(l.__dict__)
+            c.flows = list(l.flows)
+            clone.links[lid] = c
+        clone.routes = dict(self.routes)  # Route is frozen; entries shareable
+        clone.core_switch = dict(self.core_switch)
+        clone._next_link_id = self._next_link_id
+        clone._links_by_pair = {k: list(v) for k, v in self._links_by_pair.items()}
+        return clone
 
     # ------------------------------------------------------------------
     # Queries

@@ -106,12 +106,15 @@ def validate_topology(
                     "flow %s->%s: link %d does not match components" % (key[0], key[1], lid)
                 )
 
-    # 4. link capacity
+    # 4. link capacity — audit from the flow list itself, not the
+    # incrementally maintained used_mbps cache, so the check also
+    # catches callers that mutated ``flows`` behind the cache's back.
     for link in topology.links.values():
-        if link.used_mbps > link.capacity_mbps + 1e-6:
+        used = sum(bw for _, bw in link.flows)
+        if used > link.capacity_mbps + 1e-6:
             raise ValidationError(
                 "link %d (%s->%s) overloaded: %.1f of %.1f MB/s"
-                % (link.id, link.src, link.dst, link.used_mbps, link.capacity_mbps)
+                % (link.id, link.src, link.dst, used, link.capacity_mbps)
             )
 
     # 5. port bookkeeping and size bounds

@@ -6,13 +6,22 @@ and assignment strategy (the paper's Figures 2/3 axis), the VCG weight
 ``alpha``, and the link data width.  Each sweep returns plain records
 so benches, examples and notebooks share one implementation instead of
 re-rolling loops.
+
+Sweep points are independent synthesis runs, so :class:`ExplorationEngine`
+can fan them out across a :class:`~concurrent.futures.ProcessPoolExecutor`
+worker pool (``workers > 1``); results come back in submission order, so
+parallel and serial sweeps produce identical record lists.  The
+module-level sweep functions are thin wrappers over a default engine and
+accept the same ``workers`` knob.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import time
-from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import InfeasibleError, SpecError
@@ -21,6 +30,11 @@ from ..soc.partitioning import communication_partitioning, logical_partitioning
 from .design_point import DesignPoint, DesignSpace
 from .spec import SoCSpec
 from .synthesis import SynthesisConfig, synthesize
+
+#: Placeholder emitted for metric columns of infeasible sweep rows so
+#: feasible and infeasible rows keep identical key sets (column
+#: alignment in :func:`repro.io.report.format_table` depends on it).
+INFEASIBLE = "infeasible"
 
 
 @dataclass(frozen=True)
@@ -38,7 +52,12 @@ class SweepRecord:
         return self.point is not None
 
     def row(self) -> Dict[str, object]:
-        """Flat dict for :func:`repro.io.report.format_table`."""
+        """Flat dict for :func:`repro.io.report.format_table`.
+
+        Feasible and infeasible records emit the same keys — metric
+        columns of infeasible rows hold the :data:`INFEASIBLE`
+        placeholder — so mixed sweeps tabulate with aligned columns.
+        """
         out: Dict[str, object] = dict(self.knobs)
         if self.point is not None:
             out.update(
@@ -50,10 +69,33 @@ class SweepRecord:
                 }
             )
         else:
-            out.update({"noc_power_mw": "infeasible"})
+            out.update(
+                {
+                    "noc_power_mw": INFEASIBLE,
+                    "avg_latency_cycles": INFEASIBLE,
+                    "switches": INFEASIBLE,
+                    "converters": INFEASIBLE,
+                }
+            )
         out["design_points"] = self.design_points
         out["seconds"] = round(self.elapsed_s, 3)
         return out
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One synthesis run of a sweep, ready to execute anywhere.
+
+    Fully self-contained (spec, library, config, knob labels, selector)
+    so the engine can ship it to a pool worker; every field must be
+    picklable when ``workers > 1``.
+    """
+
+    spec: SoCSpec
+    library: NocLibrary
+    config: SynthesisConfig
+    knobs: Mapping[str, object]
+    select: Callable[[DesignSpace], DesignPoint]
 
 
 def _run_one(
@@ -83,6 +125,252 @@ def _run_one(
         )
 
 
+def _execute_task(task: SweepTask) -> SweepRecord:
+    """Module-level task runner (picklable for the process pool)."""
+    return _run_one(task.spec, task.library, task.config, task.knobs, task.select)
+
+
+def pareto_merge(records: Sequence[SweepRecord]) -> List[SweepRecord]:
+    """Non-dominated feasible records in the (power, latency) plane.
+
+    The cross-sweep analogue of :meth:`DesignSpace.pareto_front`: each
+    record contributes its chosen point, and a record survives unless
+    another feasible record is no worse in both objectives and strictly
+    better in one.  Output order is (power, latency) ascending with the
+    original sweep position as the deterministic tiebreak.
+    """
+    feasible = [(i, r) for i, r in enumerate(records) if r.point is not None]
+    front: List[Tuple[int, SweepRecord]] = []
+    for i, r in feasible:
+        p = r.point
+        dominated = False
+        for _, q in feasible:
+            if q is r:
+                continue
+            qp = q.point
+            if (
+                qp.power_mw <= p.power_mw + 1e-12
+                and qp.avg_latency_cycles <= p.avg_latency_cycles + 1e-12
+                and (
+                    qp.power_mw < p.power_mw - 1e-12
+                    or qp.avg_latency_cycles < p.avg_latency_cycles - 1e-12
+                )
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append((i, r))
+    front.sort(key=lambda ir: (ir[1].point.power_mw, ir[1].point.avg_latency_cycles, ir[0]))
+    return [r for _, r in front]
+
+
+class ExplorationEngine:
+    """Executes sweep tasks serially or across a process worker pool.
+
+    ``workers=1`` (the default) runs every task inline — no pool, no
+    pickling requirements, identical to the historical serial loops.
+    ``workers>1`` fans tasks out to a
+    :class:`~concurrent.futures.ProcessPoolExecutor`; each synthesis
+    run is independent (no shared caches), and results are collected in
+    submission order so the returned records match the serial run
+    element for element.  With a pool, task fields — including a custom
+    ``select`` — must be picklable (module-level functions; lambdas
+    only work serially).
+
+    The engine carries the sweep-invariant context (library, base
+    config, selector) so call sites only name the knob values.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        library: NocLibrary = DEFAULT_LIBRARY,
+        config: Optional[SynthesisConfig] = None,
+        select: Callable[[DesignSpace], DesignPoint] = DesignSpace.best_by_power,
+    ) -> None:
+        if workers < 1:
+            raise SpecError("workers must be >= 1, got %r" % workers)
+        self.workers = workers
+        self.library = library
+        self.config = config or SynthesisConfig(max_intermediate=1)
+        self.select = select
+
+    # -- execution -----------------------------------------------------
+
+    def run(self, tasks: Sequence[SweepTask]) -> List[SweepRecord]:
+        """Execute tasks, preserving input order in the output."""
+        tasks = list(tasks)
+        if self.workers == 1 or len(tasks) <= 1:
+            return [_execute_task(t) for t in tasks]
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(_execute_task, tasks, chunksize=1))
+
+    def _task(
+        self,
+        spec: SoCSpec,
+        knobs: Mapping[str, object],
+        library: Optional[NocLibrary] = None,
+        config: Optional[SynthesisConfig] = None,
+    ) -> SweepTask:
+        return SweepTask(
+            spec=spec,
+            library=library if library is not None else self.library,
+            config=config if config is not None else self.config,
+            knobs=dict(knobs),
+            select=self.select,
+        )
+
+    # -- single-axis sweeps --------------------------------------------
+
+    def island_count_tasks(
+        self,
+        spec: SoCSpec,
+        counts: Sequence[int],
+        strategies: Sequence[str] = ("logical", "communication"),
+    ) -> List[SweepTask]:
+        """Tasks of the Figures 2/3 sweep: island count x strategy."""
+        tasks = []
+        for strategy in strategies:
+            partition = _strategy_fn(strategy)
+            for n in counts:
+                tasks.append(
+                    self._task(
+                        partition(spec, n), {"islands": n, "strategy": strategy}
+                    )
+                )
+        return tasks
+
+    def island_count_exploration(
+        self,
+        spec: SoCSpec,
+        counts: Sequence[int],
+        strategies: Sequence[str] = ("logical", "communication"),
+    ) -> List[SweepRecord]:
+        return self.run(self.island_count_tasks(spec, counts, strategies))
+
+    def alpha_exploration(
+        self, spec: SoCSpec, alphas: Sequence[float]
+    ) -> List[SweepRecord]:
+        """Sweep the Definition-1 weight between bandwidth and latency."""
+        return self.run(
+            [
+                self._task(
+                    spec,
+                    {"alpha": alpha},
+                    config=dataclasses.replace(self.config, alpha=alpha),
+                )
+                for alpha in alphas
+            ]
+        )
+
+    def data_width_exploration(
+        self, spec: SoCSpec, widths: Sequence[int]
+    ) -> List[SweepRecord]:
+        """Sweep the NoC link data width ("could be varied in a range")."""
+        tasks = []
+        for width in widths:
+            if width <= 0:
+                raise SpecError("link width must be positive, got %r" % width)
+            tasks.append(
+                self._task(
+                    spec,
+                    {"width_bits": width},
+                    library=dataclasses.replace(self.library, data_width_bits=width),
+                )
+            )
+        return self.run(tasks)
+
+    # -- cross-product sweep -------------------------------------------
+
+    def grid_exploration(
+        self,
+        spec: SoCSpec,
+        islands: Optional[Sequence[int]] = None,
+        strategies: Sequence[str] = ("logical",),
+        alphas: Optional[Sequence[float]] = None,
+        widths: Optional[Sequence[int]] = None,
+    ) -> "GridResult":
+        """Sweep the cross-product of every provided knob axis.
+
+        Axes left as ``None`` are pinned at the engine config's value
+        and omitted from the knob labels.  ``islands=None`` uses the
+        spec's existing island assignment (then ``strategies`` is
+        ignored).  Returns every record plus the Pareto-merged subset
+        (:func:`pareto_merge`) over the whole grid.
+        """
+        isl_axis: Sequence[Tuple[Optional[str], Optional[int]]]
+        if islands is None:
+            isl_axis = [(None, None)]
+        else:
+            isl_axis = [(s, n) for s in strategies for n in islands]
+            for s in strategies:
+                _strategy_fn(s)  # validate up front, before any synthesis
+        alpha_axis: Sequence[Optional[float]] = (
+            [None] if alphas is None else list(alphas)
+        )
+        width_axis: Sequence[Optional[int]] = [None] if widths is None else list(widths)
+        for width in width_axis:
+            if width is not None and width <= 0:
+                raise SpecError("link width must be positive, got %r" % width)
+
+        tasks = []
+        partitioned: Dict[Tuple[str, int], SoCSpec] = {}
+        for (strategy, n), alpha, width in itertools.product(
+            isl_axis, alpha_axis, width_axis
+        ):
+            knobs: Dict[str, object] = {}
+            task_spec = spec
+            if strategy is not None:
+                key = (strategy, n)
+                if key not in partitioned:
+                    partitioned[key] = _strategy_fn(strategy)(spec, n)
+                task_spec = partitioned[key]
+                knobs["islands"] = n
+                knobs["strategy"] = strategy
+            config = self.config
+            if alpha is not None:
+                knobs["alpha"] = alpha
+                config = dataclasses.replace(config, alpha=alpha)
+            library = self.library
+            if width is not None:
+                knobs["width_bits"] = width
+                library = dataclasses.replace(library, data_width_bits=width)
+            tasks.append(self._task(task_spec, knobs, library=library, config=config))
+        records = self.run(tasks)
+        return GridResult(records=records, pareto=pareto_merge(records))
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """Outcome of :meth:`ExplorationEngine.grid_exploration`."""
+
+    #: Every sweep point, in deterministic grid order.
+    records: List[SweepRecord]
+    #: Non-dominated feasible records over the whole grid.
+    pareto: List[SweepRecord]
+
+    def rows(self) -> List[Dict[str, object]]:
+        """All records as table rows (aligned keys, see ``row``)."""
+        return [r.row() for r in self.records]
+
+    def pareto_rows(self) -> List[Dict[str, object]]:
+        """The Pareto-merged records as table rows."""
+        return [r.row() for r in self.pareto]
+
+
+def _strategy_fn(strategy: str) -> Callable[[SoCSpec, int], SoCSpec]:
+    if strategy == "logical":
+        return logical_partitioning
+    if strategy == "communication":
+        return communication_partitioning
+    raise SpecError("unknown strategy %r" % strategy)
+
+
+# ----------------------------------------------------------------------
+# Module-level wrappers (historical API, plus the ``workers`` knob)
+# ----------------------------------------------------------------------
+
+
 def island_count_exploration(
     spec: SoCSpec,
     counts: Sequence[int],
@@ -90,29 +378,11 @@ def island_count_exploration(
     library: NocLibrary = DEFAULT_LIBRARY,
     config: Optional[SynthesisConfig] = None,
     select: Callable[[DesignSpace], DesignPoint] = DesignSpace.best_by_power,
+    workers: int = 1,
 ) -> List[SweepRecord]:
     """The Figures 2/3 sweep: island count x assignment strategy."""
-    cfg = config or SynthesisConfig(max_intermediate=1)
-    records = []
-    for strategy in strategies:
-        if strategy == "logical":
-            partition = logical_partitioning
-        elif strategy == "communication":
-            partition = communication_partitioning
-        else:
-            raise SpecError("unknown strategy %r" % strategy)
-        for n in counts:
-            part = partition(spec, n)
-            records.append(
-                _run_one(
-                    part,
-                    library,
-                    cfg,
-                    {"islands": n, "strategy": strategy},
-                    select,
-                )
-            )
-    return records
+    engine = ExplorationEngine(workers, library, config, select)
+    return engine.island_count_exploration(spec, counts, strategies)
 
 
 def alpha_exploration(
@@ -121,21 +391,11 @@ def alpha_exploration(
     library: NocLibrary = DEFAULT_LIBRARY,
     config: Optional[SynthesisConfig] = None,
     select: Callable[[DesignSpace], DesignPoint] = DesignSpace.best_by_power,
+    workers: int = 1,
 ) -> List[SweepRecord]:
     """Sweep the Definition-1 weight between bandwidth and latency."""
-    cfg = config or SynthesisConfig(max_intermediate=1)
-    records = []
-    for alpha in alphas:
-        records.append(
-            _run_one(
-                spec,
-                library,
-                dataclasses.replace(cfg, alpha=alpha),
-                {"alpha": alpha},
-                select,
-            )
-        )
-    return records
+    engine = ExplorationEngine(workers, library, config, select)
+    return engine.alpha_exploration(spec, alphas)
 
 
 def data_width_exploration(
@@ -144,18 +404,27 @@ def data_width_exploration(
     library: NocLibrary = DEFAULT_LIBRARY,
     config: Optional[SynthesisConfig] = None,
     select: Callable[[DesignSpace], DesignPoint] = DesignSpace.best_by_power,
+    workers: int = 1,
 ) -> List[SweepRecord]:
     """Sweep the NoC link data width ("could be varied in a range")."""
-    cfg = config or SynthesisConfig(max_intermediate=1)
-    records = []
-    for width in widths:
-        if width <= 0:
-            raise SpecError("link width must be positive, got %r" % width)
-        lib = dataclasses.replace(library, data_width_bits=width)
-        records.append(
-            _run_one(spec, lib, cfg, {"width_bits": width}, select)
-        )
-    return records
+    engine = ExplorationEngine(workers, library, config, select)
+    return engine.data_width_exploration(spec, widths)
+
+
+def grid_exploration(
+    spec: SoCSpec,
+    islands: Optional[Sequence[int]] = None,
+    strategies: Sequence[str] = ("logical",),
+    alphas: Optional[Sequence[float]] = None,
+    widths: Optional[Sequence[int]] = None,
+    library: NocLibrary = DEFAULT_LIBRARY,
+    config: Optional[SynthesisConfig] = None,
+    select: Callable[[DesignSpace], DesignPoint] = DesignSpace.best_by_power,
+    workers: int = 1,
+) -> GridResult:
+    """Cross-product sweep over island/strategy/alpha/width knobs."""
+    engine = ExplorationEngine(workers, library, config, select)
+    return engine.grid_exploration(spec, islands, strategies, alphas, widths)
 
 
 def pareto_records(space: DesignSpace) -> List[Dict[str, object]]:

@@ -268,9 +268,9 @@ def _fm_refine(
     n = len(nodes)
     lo = max(1, target_left - balance_slack)
     hi = min(n - 1, target_left + balance_slack)
-
-    def side(u: Node, L: Set[Node]) -> bool:
-        return u in L
+    # The deterministic tie-break compares node string forms; build
+    # them once instead of twice per candidate per selection round.
+    skey = {u: str(u) for u in nodes}
 
     for _ in range(max_passes):
         L = set(left)
@@ -280,9 +280,9 @@ def _fm_refine(
         gains: Dict[Node, float] = {}
         for u in nodes:
             internal = external = 0.0
-            u_left = side(u, L)
+            u_left = u in L
             for v, w in adj[u].items():
-                if side(v, L) == u_left:
+                if (v in L) == u_left:
                     internal += w
                 else:
                     external += w
@@ -293,16 +293,19 @@ def _fm_refine(
         while len(locked) < n:
             best_u = None
             best_gain = -math.inf
+            best_key = ""
+            len_l = len(L)
             for u in nodes:
                 if u in locked:
                     continue
-                new_left_size = len(L) + (1 if u in R else -1)
+                new_left_size = len_l + (1 if u in R else -1)
                 if not (lo <= new_left_size <= hi):
                     continue
                 g = gains[u]
-                if g > best_gain or (g == best_gain and str(u) < str(best_u)):
+                if g > best_gain or (g == best_gain and skey[u] < best_key):
                     best_gain = g
                     best_u = u
+                    best_key = skey[u]
             if best_u is None:
                 break
             # Apply the tentative move and update neighbour gains.

@@ -23,13 +23,45 @@ the switches and routes every traffic flow:
 
 The allocator mutates a fresh :class:`~repro.arch.topology.Topology`
 and reports success or the first unroutable flow.
+
+Fast path
+---------
+The synthesis sweep calls the allocator hundreds of times, so the hot
+loop is engineered around five observations:
+
+1. the candidate switch set and the shutdown-safety transition rule
+   depend only on the ``(src_island, dst_island)`` pair of a flow —
+   :class:`PathAllocator` keeps one lazily-built, integer-indexed
+   successor structure per pair (shared across routing attempts)
+   instead of re-testing every switch pair on every Dijkstra pop;
+2. the power terms of an edge cost are pure functions of a handful of
+   switch attributes — the static open cost of ``(u.island, v.island,
+   u fresh?, v fresh?)`` and the traffic energy-per-bit of
+   ``(crossing?, v.n_in, v.n_out)`` — so the inner loop resolves each
+   with one int-keyed dict probe; :class:`EdgeCostCache` is the
+   object-level view of the same memos with explicit link-open
+   invalidation;
+3. every intermediate-count and port-reserve retry routes the same
+   switch/NI scaffold — the scaffold is built once and cheaply cloned
+   per attempt (:meth:`repro.arch.topology.Topology.clone_scaffold`);
+4. every edge cost is strictly positive, so an existing ``src -> dst``
+   link with spare capacity is the whole answer (the one-hop reuse
+   strictly beats every alternative) — no search needed;
+5. for the same reason, if the 0-intermediate attempt finished without
+   a single dead edge evaluation, paths through indirect switches are
+   strictly dominated everywhere and the k>0 attempts are returned
+   from the k=0 result instead of re-routed (the dominance skip).
+
+Cached and uncached (``use_cache=False``) runs share one cost
+implementation, so they produce byte-identical allocations; the cache
+only changes how often the arithmetic re-runs.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from .. import units
 from ..arch.topology import (
@@ -41,8 +73,8 @@ from ..arch.topology import (
     ni_id,
 )
 from ..exceptions import SynthesisError
+from ..perf.instrument import active_recorder
 from ..power.library import NocLibrary
-from ..sim.zero_load import link_latency_cycles
 from .frequency import IslandPlan, intermediate_island_freq_mhz
 from .spec import SoCSpec, TrafficFlow
 
@@ -103,6 +135,7 @@ def allocate_paths(
     partitions: Mapping[int, Sequence[Set[str]]],
     num_intermediate: int = 0,
     cost_config: Optional[PathCostConfig] = None,
+    use_cache: bool = True,
 ) -> AllocationResult:
     """Build a topology for one design point and route every flow.
 
@@ -113,6 +146,9 @@ def allocate_paths(
     with 1 then 2 ports per switch *reserved* for indirect
     connectivity — direct cross-island link opening is constrained to
     leave that headroom.
+
+    Thin wrapper over :class:`PathAllocator`; synthesis keeps one
+    allocator alive across the intermediate-count sweep instead.
 
     Parameters
     ----------
@@ -131,151 +167,19 @@ def allocate_paths(
         NoC island (step 14 sweeps this; 0 disables the island).
     cost_config:
         Cost-function knobs; defaults to :class:`PathCostConfig`.
+    use_cache:
+        Enable the scaffold-clone and edge-cost memoization fast path
+        (identical results either way).
     """
-    reserves = (0, 1, 2) if num_intermediate > 0 else (0,)
-    result = None
-    for reserve in reserves:
-        result = _allocate_once(
-            spec, library, plans, partitions, num_intermediate, cost_config, reserve
-        )
-        if result.success:
-            return result
-    return result
-
-
-def _allocate_once(
-    spec: SoCSpec,
-    library: NocLibrary,
-    plans: Mapping[int, IslandPlan],
-    partitions: Mapping[int, Sequence[Set[str]]],
-    num_intermediate: int,
-    cost_config: Optional[PathCostConfig],
-    port_reserve: int,
-) -> AllocationResult:
-    """One allocation attempt with a fixed port reservation."""
-    cfg = cost_config or PathCostConfig()
-    island_freqs = {isl: plan.freq_mhz for isl, plan in plans.items()}
-    if num_intermediate > 0:
-        island_freqs[INTERMEDIATE_ISLAND] = intermediate_island_freq_mhz(plans)
-    topo = Topology(spec, library, island_freqs)
-
-    max_sizes: Dict[int, int] = {isl: plan.max_switch_size for isl, plan in plans.items()}
-    if num_intermediate > 0:
-        max_sizes[INTERMEDIATE_ISLAND] = library.max_switch_size_for_freq(
-            island_freqs[INTERMEDIATE_ISLAND]
-        )
-
-    # -- instantiate switches and attach cores -------------------------
-    for isl in sorted(partitions):
-        for idx, group in enumerate(partitions[isl]):
-            if not group:
-                raise SynthesisError("empty core group in island %r" % isl)
-            if len(group) > max_sizes[isl]:
-                return AllocationResult(
-                    topology=None,
-                    success=False,
-                    reason="group of %d cores exceeds max switch size %d in island %d"
-                    % (len(group), max_sizes[isl], isl),
-                )
-            sw = topo.add_switch(isl, idx)
-            for core in sorted(group):
-                topo.attach_core(core, sw)
-    for idx in range(num_intermediate):
-        topo.add_switch(INTERMEDIATE_ISLAND, idx)
-
-    # -- route flows in decreasing bandwidth order ----------------------
-    min_lat = spec.min_latency_cycles
-    ordered = sorted(
-        spec.flows,
-        key=lambda f: (-f.bandwidth_mbps, f.latency_cycles, f.key),
+    allocator = PathAllocator(
+        spec, library, plans, partitions, cost_config, use_cache=use_cache
     )
-    links_opened = 0
-    via_mid = 0
-    for flow in ordered:
-        sw_src = topo.switch_of_core(flow.src)
-        sw_dst = topo.switch_of_core(flow.dst)
-        ni_src_link = _ni_link(topo, ni_id(flow.src), sw_src.id)
-        ni_dst_link = _ni_link(topo, sw_dst.id, ni_id(flow.dst))
-        if sw_src.id == sw_dst.id:
-            # Same switch: NI -> switch -> NI, one switch traversal.
-            topo.assign_route(flow, [ni_src_link.id, ni_dst_link.id])
-            continue
-        pressure = min_lat / flow.latency_cycles if flow.latency_cycles > 0 else 1.0
-        path = _search(topo, flow, sw_src, sw_dst, max_sizes, cfg, pressure, port_reserve)
-        if path is None:
-            return AllocationResult(
-                topology=None,
-                success=False,
-                failed_flow=flow.key,
-                reason="no feasible switch path for flow %s->%s" % flow.key,
-                links_opened=links_opened,
-            )
-        # Latency check against the flow budget; the NI links are free,
-        # each switch costs 1 cycle and each hop its link cycles.
-        latency = _path_latency(topo, path, library)
-        if latency > flow.latency_cycles + 1e-9:
-            path2 = _search(
-                topo,
-                flow,
-                sw_src,
-                sw_dst,
-                max_sizes,
-                cfg,
-                pressure,
-                port_reserve,
-                latency_only=True,
-            )
-            if path2 is not None:
-                lat2 = _path_latency(topo, path2, library)
-                if lat2 < latency:
-                    path, latency = path2, lat2
-            if latency > flow.latency_cycles + 1e-9:
-                return AllocationResult(
-                    topology=None,
-                    success=False,
-                    failed_flow=flow.key,
-                    reason="latency %d exceeds budget %.1f for flow %s->%s"
-                    % (latency, flow.latency_cycles, flow.src, flow.dst),
-                    links_opened=links_opened,
-                )
-        link_ids = [ni_src_link.id]
-        touched_mid = False
-        for hop in path:
-            if hop.action == _OPEN:
-                link = topo.open_link(hop.src_sw, hop.dst_sw)
-                links_opened += 1
-            else:
-                link = topo.links[hop.link_id]
-            link_ids.append(link.id)
-            if topo.switches[hop.dst_sw].is_intermediate:
-                touched_mid = True
-        link_ids.append(ni_dst_link.id)
-        topo.assign_route(flow, link_ids)
-        if touched_mid:
-            via_mid += 1
-
-    _prune_unused_intermediate(topo)
-    return AllocationResult(
-        topology=topo,
-        success=True,
-        links_opened=links_opened,
-        flows_via_intermediate=via_mid,
-    )
+    return allocator.allocate(num_intermediate)
 
 
 # ----------------------------------------------------------------------
-# Search internals
+# Cost model (shared by cached and uncached paths)
 # ----------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class _Hop:
-    """One switch-to-switch move in a candidate path."""
-
-    src_sw: str
-    dst_sw: str
-    action: str  # _REUSE or _OPEN
-    link_id: int = -1  # valid when action == _REUSE
 
 
 def _allowed_transition(
@@ -299,40 +203,6 @@ def _allowed_transition(
     if src_island == isl_b:
         return dst_island == isl_b
     return False
-
-
-def _candidate_switches(topo: Topology, isl_a: int, isl_b: int) -> List[Switch]:
-    """Switches a flow from island ``isl_a`` to ``isl_b`` may traverse."""
-    allowed_islands = {isl_a, isl_b, INTERMEDIATE_ISLAND}
-    return [s for s in topo.switches.values() if s.island in allowed_islands]
-
-
-def _can_open(
-    topo: Topology,
-    u: Switch,
-    v: Switch,
-    max_sizes: Mapping[int, int],
-    port_reserve: int = 0,
-) -> bool:
-    """Would opening a link u->v keep both switches within size bounds?
-
-    ``port_reserve`` ports are withheld from *direct* cross-island
-    links (both endpoints outside the intermediate island) so that the
-    switch keeps headroom to reach indirect switches later.
-    """
-    new_u = max(u.n_in, u.n_out + 1)
-    new_v = max(v.n_in + 1, v.n_out)
-    lim_u = max_sizes[u.island]
-    lim_v = max_sizes[v.island]
-    if (
-        port_reserve
-        and u.island != v.island
-        and not u.is_intermediate
-        and not v.is_intermediate
-    ):
-        lim_u -= port_reserve
-        lim_v -= port_reserve
-    return new_u <= lim_u and new_v <= lim_v
 
 
 def _edge_static_open_cost(
@@ -362,10 +232,10 @@ def _edge_static_open_cost(
     return static
 
 
-def _edge_traffic_cost(
-    topo: Topology, flow: TrafficFlow, u: Switch, v: Switch, cfg: PathCostConfig
+def _edge_traffic_ebit(
+    topo: Topology, u: Switch, v: Switch, cfg: PathCostConfig
 ) -> float:
-    """Dynamic power (mW) the flow adds on link u->v plus switch v."""
+    """Energy per bit (pJ) a flow pays on link u->v plus switch v."""
     lib = topo.library
     crossing = u.island != v.island
     length = cfg.nominal_cross_link_mm if crossing else cfg.nominal_intra_link_mm
@@ -373,136 +243,911 @@ def _edge_traffic_cost(
     ebit += lib.switch_ebit_pj(max(v.n_in, 1), max(v.n_out, 1))
     if crossing:
         ebit += lib.fifo_ebit_pj
-    return units.traffic_power_mw(flow.bandwidth_mbps, ebit)
+    return ebit
 
 
-def _edge_latency_cycles(topo: Topology, u: Switch, v: Switch) -> int:
-    """Cycles one hop adds: the link plus the downstream switch."""
-    lib = topo.library
-    link_cycles = lib.fifo_crossing_cycles if u.island != v.island else lib.link_traversal_cycles
-    return link_cycles + lib.switch_traversal_cycles
+def _edge_traffic_cost(
+    topo: Topology, flow: TrafficFlow, u: Switch, v: Switch, cfg: PathCostConfig
+) -> float:
+    """Dynamic power (mW) the flow adds on link u->v plus switch v."""
+    return units.traffic_power_mw(
+        flow.bandwidth_mbps, _edge_traffic_ebit(topo, u, v, cfg)
+    )
 
 
-def _search(
-    topo: Topology,
-    flow: TrafficFlow,
-    sw_src: Switch,
-    sw_dst: Switch,
-    max_sizes: Mapping[int, int],
-    cfg: PathCostConfig,
-    pressure: float,
-    port_reserve: int = 0,
-    latency_only: bool = False,
-) -> Optional[List[_Hop]]:
-    """Dijkstra over the allowed switch graph; returns hops or None.
+class EdgeCostCache:
+    """Memoized per-switch-pair cost terms with link-open invalidation.
 
-    ``latency_only`` ignores power and minimizes pure hop latency —
-    used as the fallback when the cheapest path misses the flow's
-    latency budget.
+    Two terms of the edge cost are cached per directed switch pair:
+
+    * the **static open cost** — depends on the pair's islands and
+      frequencies (static) and on whether either endpoint is still
+      unconnected (its clock-tree/leakage floor is charged on first
+      use, the ``n_in/n_out`` degeneracy);
+    * the **traffic energy per bit** — depends on the pair's islands
+      and on the downstream switch's port counts.
+
+    Both inputs change only when a link opens, so
+    :meth:`invalidate_switch` must be called for both endpoints of
+    every newly opened link (attaching cores also changes port counts,
+    but all NIs are attached before routing starts).  Invalidation is a
+    per-switch version bump: a pair entry is valid only while both
+    endpoints still carry the version it was stored under, which makes
+    invalidating a switch O(1) instead of a scan over its pairs.
+
+    Underneath the pair entries sits a second, parameter-keyed level
+    shared across routing attempts: the cost terms are pure functions
+    of a handful of switch attributes, so a pair miss usually resolves
+    to a dict hit instead of re-running the power-model arithmetic.
+
+    Internally everything is integer-indexed: switches map to their
+    position in the topology's insertion order, versions live in a flat
+    list, and a directed pair keys as ``u_idx * n + v_idx``.  The
+    router's inner loop does not go through this class — it uses the
+    allocator's int-keyed pure-function memos directly (same value
+    functions, different keying); this class is the object-level view
+    for tests and non-hot callers.  The router's keying is guarded by
+    the cached-vs-uncached determinism tests, which bypass every memo
+    in reference mode.
+
+    Capacity checks are *not* cached — residual bandwidth changes on
+    every routed flow and is already O(1) to read.
     """
-    isl_a = sw_src.island
-    isl_b = sw_dst.island
-    candidates = {s.id: s for s in _candidate_switches(topo, isl_a, isl_b)}
-    dist: Dict[str, float] = {sw_src.id: 0.0}
-    prev: Dict[str, _Hop] = {}
-    heap: List[Tuple[float, str]] = [(0.0, sw_src.id)]
-    visited: Set[str] = set()
-    while heap:
-        d, uid = heapq.heappop(heap)
-        if uid in visited:
-            continue
-        visited.add(uid)
-        if uid == sw_dst.id:
-            break
-        u = candidates[uid]
-        for vid, v in candidates.items():
-            if vid == uid or vid in visited:
-                continue
-            if not _allowed_transition(u.island, v.island, isl_a, isl_b):
-                continue
-            hop = _best_edge(
-                topo, flow, u, v, max_sizes, cfg, pressure, port_reserve, latency_only
+
+    __slots__ = (
+        "_topo",
+        "_cfg",
+        "_sw_list",
+        "_idx_map",
+        "_n",
+        "_static",
+        "_ebit",
+        "_versions",
+        "_static_by_param",
+        "_ebit_by_param",
+        "hits",
+        "misses",
+    )
+
+    def __init__(
+        self,
+        topo: Topology,
+        cfg: PathCostConfig,
+        static_by_param: Optional[Dict[tuple, float]] = None,
+        ebit_by_param: Optional[Dict[tuple, float]] = None,
+        sw_list: Optional[List[Switch]] = None,
+    ) -> None:
+        self._topo = topo
+        self._cfg = cfg
+        self._sw_list = sw_list if sw_list is not None else list(topo.switches.values())
+        self._idx_map: Optional[Dict[str, int]] = None  # built on first id lookup
+        self._n = len(self._sw_list)
+        # u_idx * n + v_idx -> (u_version, v_version, value)
+        self._static: Dict[int, Tuple[int, int, float]] = {}
+        self._ebit: Dict[int, Tuple[int, int, float]] = {}
+        self._versions: List[int] = [0] * self._n
+        self._static_by_param = static_by_param if static_by_param is not None else {}
+        self._ebit_by_param = ebit_by_param if ebit_by_param is not None else {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def _idx_of(self) -> Dict[str, int]:
+        """Switch id -> index, built on first object-API lookup.
+
+        The router's inner loop indexes by integer directly and never
+        needs this map, so per-attempt construction skips it.
+        """
+        m = self._idx_map
+        if m is None:
+            m = self._idx_map = {sw.id: i for i, sw in enumerate(self._sw_list)}
+        return m
+
+    def static_open_cost(self, u: Switch, v: Switch) -> float:
+        """Memoized :func:`_edge_static_open_cost` for ``u -> v``."""
+        ui = self._idx_of[u.id]
+        vi = self._idx_of[v.id]
+        vu = self._versions[ui]
+        vv = self._versions[vi]
+        key = ui * self._n + vi
+        entry = self._static.get(key)
+        if entry is not None and entry[0] == vu and entry[1] == vv:
+            self.hits += 1
+            return entry[2]
+        self.misses += 1
+        param = (
+            u.freq_mhz,
+            v.freq_mhz,
+            u.island != v.island,
+            u.n_in == 0 and u.n_out == 0,
+            v.n_in == 0 and v.n_out == 0,
+        )
+        value = self._static_by_param.get(param)
+        if value is None:
+            value = _edge_static_open_cost(self._topo, u, v, self._cfg)
+            self._static_by_param[param] = value
+        self._static[key] = (vu, vv, value)
+        return value
+
+    def traffic_ebit(self, u: Switch, v: Switch) -> float:
+        """Memoized :func:`_edge_traffic_ebit` for ``u -> v``."""
+        ui = self._idx_of[u.id]
+        vi = self._idx_of[v.id]
+        vu = self._versions[ui]
+        vv = self._versions[vi]
+        key = ui * self._n + vi
+        entry = self._ebit.get(key)
+        if entry is not None and entry[0] == vu and entry[1] == vv:
+            self.hits += 1
+            return entry[2]
+        self.misses += 1
+        param = (u.island != v.island, v.n_in, v.n_out)
+        value = self._ebit_by_param.get(param)
+        if value is None:
+            value = _edge_traffic_ebit(self._topo, u, v, self._cfg)
+            self._ebit_by_param[param] = value
+        self._ebit[key] = (vu, vv, value)
+        return value
+
+    def invalidate_switch(self, switch_id: str) -> None:
+        """Invalidate every cached term involving ``switch_id``.
+
+        Call for both endpoints after opening a link: the open changes
+        the endpoints' port counts (traffic term of edges into them)
+        and clears their first-use degeneracy (static term).
+        """
+        self._versions[self._idx_of[switch_id]] += 1
+
+    def is_current(self, u_id: str, v_id: str) -> bool:
+        """True if the pair entry for ``u_id -> v_id`` is still valid.
+
+        Introspection for tests; the lookup methods perform the same
+        check inline.
+        """
+        ui = self._idx_of[u_id]
+        vi = self._idx_of[v_id]
+        key = ui * self._n + vi
+        for table in (self._static, self._ebit):
+            entry = table.get(key)
+            if entry is not None and (
+                entry[0] != self._versions[ui] or entry[1] != self._versions[vi]
+            ):
+                return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self._static) + len(self._ebit)
+
+
+# ----------------------------------------------------------------------
+# Allocation engine
+# ----------------------------------------------------------------------
+
+
+class PathAllocator:
+    """Reusable path-allocation engine for one design-point candidate.
+
+    Construction freezes everything that is identical across the
+    intermediate-count sweep and the port-reserve retries: the flow
+    order, the per-island size bounds, and the switch/NI scaffold
+    (built once through the validating construction path, then cloned
+    per attempt when ``use_cache`` is on).
+
+    ``use_cache=False`` rebuilds the scaffold from scratch for every
+    attempt and recomputes every edge-cost term — the reference mode
+    used to prove the fast path changes nothing.
+    """
+
+    def __init__(
+        self,
+        spec: SoCSpec,
+        library: NocLibrary,
+        plans: Mapping[int, IslandPlan],
+        partitions: Mapping[int, Sequence[Set[str]]],
+        cost_config: Optional[PathCostConfig] = None,
+        use_cache: bool = True,
+    ) -> None:
+        self.spec = spec
+        self.library = library
+        self.plans = plans
+        self.partitions = partitions
+        self.cfg = cost_config or PathCostConfig()
+        self.use_cache = use_cache
+
+        self._base_freqs: Dict[int, float] = {
+            isl: plan.freq_mhz for isl, plan in plans.items()
+        }
+        self._mid_freq = intermediate_island_freq_mhz(plans)
+        self._max_sizes: Dict[int, int] = {
+            isl: plan.max_switch_size for isl, plan in plans.items()
+        }
+        self._max_sizes[INTERMEDIATE_ISLAND] = library.max_switch_size_for_freq(
+            self._mid_freq
+        )
+        # Flows in decreasing bandwidth order (deterministic tiebreak).
+        self._ordered_flows = sorted(
+            spec.flows,
+            key=lambda f: (-f.bandwidth_mbps, f.latency_cycles, f.key),
+        )
+        self._min_lat = spec.min_latency_cycles
+        # Scaffold (built lazily on first use): either a Topology to
+        # clone or an AllocationResult describing why building failed.
+        self._scaffold: Optional[Topology] = None
+        self._scaffold_failure: Optional[AllocationResult] = None
+        # Parameter-keyed cost memos shared across attempts (the cost
+        # terms are pure in these parameters; see EdgeCostCache).
+        self._static_by_param: Dict[tuple, float] = {}
+        self._ebit_by_param: Dict[tuple, float] = {}
+        # Int-keyed views of the same pure-function memos for the
+        # router's inner loop.  Every switch is clocked at its island's
+        # planned frequency, so the static open cost is fully determined
+        # by (u.island, v.island, u fresh?, v fresh?) and the traffic
+        # energy per bit by (crossing?, v.n_in, v.n_out); the island
+        # pair encodes into each edge at adjacency build time, leaving
+        # one add/or plus a dict probe per lookup.
+        self._island_ix: Dict[int, int] = {
+            isl: i
+            for i, isl in enumerate(
+                sorted(set(plans) | {INTERMEDIATE_ISLAND})
             )
-            if hop is None:
-                continue
-            cost, candidate_hop = hop
-            nd = d + cost
-            if nd < dist.get(vid, float("inf")) - 1e-12:
-                dist[vid] = nd
-                prev[vid] = candidate_hop
-                heapq.heappush(heap, (nd, vid))
-    if sw_dst.id not in prev and sw_dst.id != sw_src.id:
-        return None
-    # Reconstruct hops back from the destination.
-    hops: List[_Hop] = []
-    cur = sw_dst.id
-    while cur != sw_src.id:
-        hop = prev[cur]
-        hops.append(hop)
-        cur = hop.src_sw
-    hops.reverse()
-    return hops
+        }
+        self._static_by_key: Dict[int, float] = {}
+        self._ebit_by_key: Dict[int, float] = {}
+        # Pure-function memo: island-pair min frequency -> link capacity.
+        self._cap_by_freq: Dict[float, float] = {}
+        # Candidate adjacency hoisted across attempts (fast path only):
+        # (n_switches, src_island, dst_island) -> per-switch successor
+        # tuples.  Edges hold indices and attempt-invariant data only
+        # (islands, frequencies and size bounds never change between
+        # attempts), so one build serves every clone with the same
+        # intermediate count.
+        self._adj_store: Dict[Tuple[int, int, int], List[Optional[tuple]]] = {}
+        # Dijkstra tie-break tables per switch count: heap entries carry
+        # the switch's rank in sorted-id order, which reproduces the
+        # historical (cost, switch_id) string comparison exactly.
+        self._ranks_store: Dict[int, Tuple[List[int], List[int]]] = {}
+        # Per-flow routing plan (endpoint switch indices, NI link ids,
+        # latency pressure) — identical for every attempt because the
+        # scaffold's ids are deterministic and clones preserve them.
+        self._flow_plan: Optional[List[tuple]] = None
+        # Intermediate-island dominance skip (fast path only): if the
+        # 0-intermediate attempt succeeded without a single capacity or
+        # port rejection, every candidate path through an indirect
+        # switch is strictly dominated — an x -> mid ... mid -> y
+        # segment always collapses to the direct x -> y edge, which was
+        # never blocked and is strictly cheaper (fewer hops, fewer
+        # converters, no fresh-switch floor).  The k>0 attempts would
+        # therefore reproduce the k=0 routing exactly and prune every
+        # indirect switch; allocate() returns the k=0 result instead of
+        # re-routing.  Any rejection anywhere clears the guarantee.
+        self._k0_result: Optional[AllocationResult] = None
+        self._k0_unblocked = False
+        self._blocked = False
+        # Counters flushed to the active PerfRecorder per allocate().
+        self._pops = 0
+        self._edge_evals = 0
+        self._links_opened = 0
+        self._scaffold_clones = 0
+        self._scaffold_builds = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
 
+    # -- public API ----------------------------------------------------
 
-def _best_edge(
-    topo: Topology,
-    flow: TrafficFlow,
-    u: Switch,
-    v: Switch,
-    max_sizes: Mapping[int, int],
-    cfg: PathCostConfig,
-    pressure: float,
-    port_reserve: int,
-    latency_only: bool,
-) -> Optional[Tuple[float, _Hop]]:
-    """Cheapest way (reuse or open) to move the flow from u to v."""
-    lat_cycles = _edge_latency_cycles(topo, u, v)
-    lat_cost = cfg.latency_cost_mw_per_cycle * lat_cycles * pressure
-    best: Optional[Tuple[float, _Hop]] = None
-    # Reuse an existing link with enough residual capacity.
-    for link in topo.links_between(u.id, v.id):
-        if link.residual_mbps + 1e-9 < flow.bandwidth_mbps:
-            continue
-        if latency_only:
-            cost = float(lat_cycles)
+    def allocate(self, num_intermediate: int = 0) -> AllocationResult:
+        """Route all flows with ``num_intermediate`` indirect switches.
+
+        Retries with 1 then 2 reserved ports per switch when the greedy
+        allocation strands the intermediate island (see
+        :func:`allocate_paths`).
+        """
+        if (
+            num_intermediate > 0
+            and self.use_cache
+            and self._k0_unblocked
+            and self._k0_result is not None
+            and self._k0_result.success
+        ):
+            # Dominance skip (see __init__): the k=0 routing was never
+            # capacity- or port-constrained, so indirect switches can
+            # not appear on any optimal path — this attempt would
+            # reproduce the k=0 topology and prune every mid switch.
+            recorder = active_recorder()
+            if recorder is not None:
+                recorder.count("intermediate_attempts_skipped")
+            return self._k0_result
+        reserves = (0, 1, 2) if num_intermediate > 0 else (0,)
+        result: Optional[AllocationResult] = None
+        for reserve in reserves:
+            attempt = self._build_attempt_topology(num_intermediate)
+            if isinstance(attempt, AllocationResult):
+                result = attempt
+                break  # scaffold failure is independent of the reserve
+            self._blocked = False
+            result = self._route_all(attempt, reserve)
+            if result.success:
+                break
+        if num_intermediate == 0:
+            self._k0_result = result
+            # The dominance argument needs every cost term non-negative
+            # (physical energies are; the config weights could be
+            # zeroed or inverted by exotic configs).
+            self._k0_unblocked = (
+                bool(result.success)
+                and not self._blocked
+                and self.cfg.latency_cost_mw_per_cycle >= 0.0
+                and self.cfg.open_cost_weight >= 0.0
+            )
+        self._flush_counters()
+        assert result is not None
+        return result
+
+    # -- scaffold ------------------------------------------------------
+
+    def _build_scaffold(self) -> None:
+        """Instantiate switches and attach cores (steps 12–13), once."""
+        topo = Topology(self.spec, self.library, self._base_freqs)
+        for isl in sorted(self.partitions):
+            for idx, group in enumerate(self.partitions[isl]):
+                if not group:
+                    raise SynthesisError("empty core group in island %r" % isl)
+                if len(group) > self._max_sizes[isl]:
+                    self._scaffold_failure = AllocationResult(
+                        topology=None,
+                        success=False,
+                        reason="group of %d cores exceeds max switch size %d in island %d"
+                        % (len(group), self._max_sizes[isl], isl),
+                    )
+                    return
+                sw = topo.add_switch(isl, idx)
+                for core in sorted(group):
+                    topo.attach_core(core, sw)
+        self._scaffold = topo
+
+    def _build_attempt_topology(self, num_intermediate: int):
+        """A fresh topology for one routing attempt (clone or rebuild)."""
+        if self._scaffold is None and self._scaffold_failure is None:
+            # First call — or reference mode, where each attempt consumes
+            # the scaffold below and re-runs the validating construction
+            # path here.
+            self._build_scaffold()
+            self._scaffold_builds += 1
+        if self._scaffold_failure is not None:
+            return self._scaffold_failure
+        assert self._scaffold is not None
+        if self.use_cache:
+            topo = self._scaffold.clone_scaffold()
+            self._scaffold_clones += 1
         else:
-            cost = _edge_traffic_cost(topo, flow, u, v, cfg) + lat_cost
-        hop = _Hop(src_sw=u.id, dst_sw=v.id, action=_REUSE, link_id=link.id)
-        if best is None or cost < best[0]:
-            best = (cost, hop)
-        break  # links between a pair are interchangeable; first fits
-    # Open a new link (subject to size bounds and parallel-link policy).
-    existing = topo.links_between(u.id, v.id)
-    may_parallel = cfg.allow_parallel_links or not existing
-    if may_parallel and _can_open(topo, u, v, max_sizes, port_reserve):
-        capacity = topo.library.link_capacity_mbps(min(u.freq_mhz, v.freq_mhz))
-        if capacity + 1e-9 >= flow.bandwidth_mbps:
-            if latency_only:
-                cost = float(lat_cycles) + 1e-6  # prefer reuse on ties
-            else:
-                cost = (
-                    _edge_traffic_cost(topo, flow, u, v, cfg)
-                    + cfg.open_cost_weight * _edge_static_open_cost(topo, u, v, cfg)
-                    + lat_cost
+            topo = self._scaffold
+            self._scaffold = None  # consumed; next attempt rebuilds
+        if num_intermediate > 0:
+            topo.island_freqs[INTERMEDIATE_ISLAND] = self._mid_freq
+            for idx in range(num_intermediate):
+                topo.add_switch(INTERMEDIATE_ISLAND, idx)
+        return topo
+
+    # -- routing -------------------------------------------------------
+
+    def _build_flow_plan(self, topo: Topology) -> List[tuple]:
+        """Per-flow routing endpoints, resolved once for all attempts.
+
+        Scaffold switch ids, NI link ids and core attachments are
+        deterministic and preserved by :meth:`Topology.clone_scaffold`,
+        so each flow's endpoint switch *indices* (position in switch
+        insertion order), NI link ids and latency pressure are
+        attempt-invariant.
+        """
+        idx_of = {sid: i for i, sid in enumerate(topo.switches)}
+        min_lat = self._min_lat
+        lib = self.library
+        # Pressure-weighted hop-latency costs, precomputed per flow with
+        # the historical association order ((weight * cycles) * pressure)
+        # so the floats match the old per-search computation bit for bit.
+        unit_intra = self.cfg.latency_cost_mw_per_cycle * (
+            lib.link_traversal_cycles + lib.switch_traversal_cycles
+        )
+        unit_cross = self.cfg.latency_cost_mw_per_cycle * (
+            lib.fifo_crossing_cycles + lib.switch_traversal_cycles
+        )
+        plan = []
+        for flow in self._ordered_flows:
+            sw_src = topo.switch_of_core(flow.src)
+            sw_dst = topo.switch_of_core(flow.dst)
+            ni_src_lid = _ni_link(topo, ni_id(flow.src), sw_src.id).id
+            ni_dst_lid = _ni_link(topo, sw_dst.id, ni_id(flow.dst)).id
+            pressure = (
+                min_lat / flow.latency_cycles if flow.latency_cycles > 0 else 1.0
+            )
+            plan.append(
+                (
+                    flow,
+                    sw_src.id == sw_dst.id,
+                    idx_of[sw_src.id],
+                    idx_of[sw_dst.id],
+                    ni_src_lid,
+                    ni_dst_lid,
+                    unit_intra * pressure,
+                    unit_cross * pressure,
                 )
-            hop = _Hop(src_sw=u.id, dst_sw=v.id, action=_OPEN)
-            if best is None or cost < best[0]:
-                best = (cost, hop)
-    return best
+            )
+        return plan
+
+    def _ranks(self, sw_list: List[Switch]) -> Tuple[List[int], List[int]]:
+        """Tie-break tables: index -> sorted-id rank and its inverse.
+
+        Heap entries carry ranks instead of id strings; because rank
+        order equals lexicographic id order, cost ties pop in exactly
+        the order the historical ``(cost, switch_id)`` heap produced.
+        """
+        n = len(sw_list)
+        store = self._ranks_store if self.use_cache else {}
+        tables = store.get(n)
+        if tables is None:
+            idx_by_rank = sorted(range(n), key=lambda i: sw_list[i].id)
+            rank_of = [0] * n
+            for rank, idx in enumerate(idx_by_rank):
+                rank_of[idx] = rank
+            tables = (rank_of, idx_by_rank)
+            store[n] = tables
+        return tables
+
+    def _route_all(
+        self, topo: Topology, port_reserve: int
+    ) -> AllocationResult:
+        """One allocation attempt with a fixed port reservation."""
+        cfg = self.cfg
+        sw_list = list(topo.switches.values())
+        n = len(sw_list)
+        use_memo = self.use_cache
+        adj_store = self._adj_store if use_memo else {}
+        ranks = self._ranks(sw_list)
+        # Existing sw2sw links per directed pair (``u_idx * n + v_idx``),
+        # in link-id order; maintained incrementally as links open.  The
+        # scaffold carries only NI attachment links, so this starts empty.
+        pair_links: Dict[int, List[Link]] = {}
+        if self._flow_plan is None:
+            self._flow_plan = self._build_flow_plan(topo)
+        lib = self.library
+        sw_cycles = lib.switch_traversal_cycles
+        lat_intra_cycles = lib.link_traversal_cycles + sw_cycles
+        lat_cross_cycles = lib.fifo_crossing_cycles + sw_cycles
+        # The shortcut's strict-dominance argument needs every cost
+        # term non-negative; an exotic negative open weight could make
+        # opening a parallel link beat reusing an existing one.
+        open_weight_ok = cfg.open_cost_weight >= 0.0
+        links_opened = 0
+        via_mid = 0
+        for (
+            flow, same_switch, src_i, dst_i, ni_src_lid, ni_dst_lid,
+            lat_cost_intra, lat_cost_cross,
+        ) in self._flow_plan:
+            if same_switch:
+                # Same switch: NI -> switch -> NI, one switch traversal.
+                topo.assign_route(flow, [ni_src_lid, ni_dst_lid], validate=False)
+                continue
+            found = None
+            # Direct-reuse shortcut: every edge cost is strictly
+            # positive (traffic energy, wire/FIFO energy and any
+            # non-negative latency weight), so when an existing
+            # src->dst link still has capacity, the one-hop reuse path
+            # strictly beats every alternative — opening costs extra
+            # static power on the same edge, and any multi-hop path
+            # pays the destination crossbar *plus* additional hops.
+            # The full search would return exactly this path; skip it.
+            if open_weight_ok and lat_cost_intra >= 0.0 and lat_cost_cross >= 0.0:
+                direct = pair_links.get(src_i * n + dst_i)
+                if direct:
+                    bw = flow.bandwidth_mbps
+                    for link in direct:
+                        if link.capacity_mbps - link._used_mbps + 1e-9 >= bw:
+                            crossing = (
+                                sw_list[src_i].island != sw_list[dst_i].island
+                            )
+                            found = (
+                                [(src_i, dst_i, _REUSE, link)],
+                                sw_cycles
+                                + (lat_cross_cycles if crossing else lat_intra_cycles),
+                            )
+                            break
+            if found is None:
+                found = self._search(
+                    topo, sw_list, n, adj_store, ranks, use_memo, pair_links,
+                    flow, src_i, dst_i, lat_cost_intra, lat_cost_cross, port_reserve,
+                )
+            if found is None:
+                return AllocationResult(
+                    topology=None,
+                    success=False,
+                    failed_flow=flow.key,
+                    reason="no feasible switch path for flow %s->%s" % flow.key,
+                    links_opened=links_opened,
+                )
+            # Latency check against the flow budget; the NI links are
+            # free, each switch costs 1 cycle and each hop its link
+            # cycles.
+            hops, latency = found
+            if latency > flow.latency_cycles + 1e-9:
+                found2 = self._search(
+                    topo, sw_list, n, adj_store, ranks, use_memo, pair_links,
+                    flow, src_i, dst_i, lat_cost_intra, lat_cost_cross,
+                    port_reserve, latency_only=True,
+                )
+                if found2 is not None:
+                    hops2, lat2 = found2
+                    if lat2 < latency:
+                        hops, latency = hops2, lat2
+                if latency > flow.latency_cycles + 1e-9:
+                    return AllocationResult(
+                        topology=None,
+                        success=False,
+                        failed_flow=flow.key,
+                        reason="latency %d exceeds budget %.1f for flow %s->%s"
+                        % (latency, flow.latency_cycles, flow.src, flow.dst),
+                        links_opened=links_opened,
+                    )
+            link_ids = [ni_src_lid]
+            touched_mid = False
+            for ui, vi, action, link in hops:
+                if action == _OPEN:
+                    link = topo.open_link(sw_list[ui].id, sw_list[vi].id)
+                    links_opened += 1
+                    key = ui * n + vi
+                    lst = pair_links.get(key)
+                    if lst is None:
+                        pair_links[key] = [link]
+                    else:
+                        lst.append(link)
+                link_ids.append(link.id)
+                if sw_list[vi].is_intermediate:
+                    touched_mid = True
+            link_ids.append(ni_dst_lid)
+            # Routes are correct by construction here (the search
+            # enforced capacity and continuity); the per-point
+            # validate_topology pass still audits the final result.
+            topo.assign_route(flow, link_ids, validate=False)
+            if touched_mid:
+                via_mid += 1
+
+        _prune_unused_intermediate(topo)
+        self._links_opened += links_opened
+        return AllocationResult(
+            topology=topo,
+            success=True,
+            links_opened=links_opened,
+            flows_via_intermediate=via_mid,
+        )
+
+    def _adjacency(
+        self,
+        sw_list: List[Switch],
+        n: int,
+        adj_store: Dict[Tuple[int, int, int], tuple],
+        isl_a: int,
+        isl_b: int,
+    ) -> tuple:
+        """Lazy allowed-successor structure for ``isl_a`` -> ``isl_b`` flows.
+
+        Returns ``(candidates, rows)``: the candidate switch indices in
+        insertion order and a per-switch row list.  ``rows[u_idx]`` is
+        the tuple of successors the shutdown-safety rule permits —
+        ``(v_idx, crossing, reserve_applies, v's size bound, new-link
+        capacity)`` — or ``None`` while unbuilt; :meth:`_successor_row`
+        materializes a row the first time the search pops its switch
+        (most candidates are never popped, so eager all-pairs
+        construction wasted the bulk of the adjacency work).  Everything
+        stored is attempt-invariant, so on the fast path one structure
+        serves every clone with the same switch count.
+        """
+        key = (n, isl_a, isl_b)
+        entry = adj_store.get(key)
+        if entry is None:
+            allowed = {isl_a, isl_b, INTERMEDIATE_ISLAND}
+            candidates = tuple(
+                i for i, s in enumerate(sw_list) if s.island in allowed
+            )
+            entry = (candidates, [None] * n)
+            adj_store[key] = entry
+        return entry
+
+    def _successor_row(
+        self,
+        sw_list: List[Switch],
+        candidates: Tuple[int, ...],
+        uidx: int,
+        isl_a: int,
+        isl_b: int,
+    ) -> tuple:
+        """Build the successor tuple of one candidate switch."""
+        mid = INTERMEDIATE_ISLAND
+        max_sizes = self._max_sizes
+        cap_by_freq = self._cap_by_freq
+        island_ix = self._island_ix
+        n_islands = len(island_ix)
+        lib = self.library
+        u = sw_list[uidx]
+        u_isl = u.island
+        u_freq = u.freq_mhz
+        u_ix = island_ix[u_isl]
+        edges = []
+        for cj in candidates:
+            if cj == uidx:
+                continue
+            v = sw_list[cj]
+            v_isl = v.island
+            if not _allowed_transition(u_isl, v_isl, isl_a, isl_b):
+                continue
+            crossing = u_isl != v_isl
+            freq = u_freq if u_freq < v.freq_mhz else v.freq_mhz
+            capacity = cap_by_freq.get(freq)
+            if capacity is None:
+                capacity = lib.link_capacity_mbps(freq)
+                cap_by_freq[freq] = capacity
+            edges.append(
+                (
+                    cj,
+                    crossing,
+                    crossing and u_isl != mid and v_isl != mid,
+                    max_sizes[v_isl],
+                    capacity,
+                    # Memo key bases (see __init__): static cost key is
+                    # island-pair * 4 + freshness bits, ebit key is
+                    # crossing bit | v's port counts.
+                    (u_ix * n_islands + island_ix[v_isl]) * 4,
+                    (1 << 23) if crossing else 0,
+                )
+            )
+        return tuple(edges)
+
+    def _search(
+        self,
+        topo: Topology,
+        sw_list: List[Switch],
+        n: int,
+        adj_store: Dict[Tuple[int, int, int], List[Optional[tuple]]],
+        ranks: Tuple[List[int], List[int]],
+        use_memo: bool,
+        pair_links: Dict[int, List[Link]],
+        flow: TrafficFlow,
+        src_i: int,
+        dst_i: int,
+        lat_cost_intra: float,
+        lat_cost_cross: float,
+        port_reserve: int,
+        latency_only: bool = False,
+    ) -> Optional[Tuple[List[Tuple[int, int, str, Optional[Link]]], int]]:
+        """Dijkstra over the allowed switch graph.
+
+        Returns ``(hops, zero_load_latency_cycles)`` where hops are
+        ``(src_idx, dst_idx, action, link_or_None)`` tuples, or ``None``
+        when the destination is unreachable.  ``latency_only`` ignores
+        power and minimizes pure hop latency — used as the fallback when
+        the cheapest path misses the flow's latency budget.  The
+        pressure-weighted hop costs ``lat_cost_intra``/``lat_cost_cross``
+        come precomputed from the flow plan.
+        """
+        cfg = self.cfg
+        lib = self.library
+        isl_a = sw_list[src_i].island
+        isl_b = sw_list[dst_i].island
+        candidates, adj = self._adjacency(sw_list, n, adj_store, isl_a, isl_b)
+        bw = flow.bandwidth_mbps
+        allow_parallel = cfg.allow_parallel_links
+        open_weight = cfg.open_cost_weight
+        # Traffic power is bw-linear in the cached energy-per-bit term;
+        # hoisting the bandwidth factor keeps units.traffic_power_mw's
+        # exact evaluation order: (bits_per_s * ebit) * unit_constant.
+        bits_per_s = bw * units.MEGA * units.BITS_PER_BYTE
+        to_mw = units.PJ_PER_BIT_TIMES_BITS_PER_S_TO_MW
+        # Hop latencies in cycles, one value per crossing class.
+        lat_intra = lib.link_traversal_cycles + lib.switch_traversal_cycles
+        lat_cross = lib.fifo_crossing_cycles + lib.switch_traversal_cycles
+
+        # Int-keyed pure-function memos (see __init__): the fast path
+        # resolves both cost terms with one integer dict probe each —
+        # no invalidation needed because the keys capture every dynamic
+        # input (port counts, first-use freshness).  Hit/miss tallies
+        # are folded into the cache stats at the end.
+        static_by_key = self._static_by_key
+        ebit_by_key = self._ebit_by_key
+        hits = 0
+        misses = 0
+        has_reserve = port_reserve != 0
+        blocked = False  # any capacity/port rejection voids the mid skip
+
+        max_sizes = self._max_sizes
+        rank_of, idx_by_rank = ranks
+        inf = float("inf")
+        dist = [inf] * n
+        dist[src_i] = 0.0
+        prev: List[Optional[Tuple[int, str, Optional[Link]]]] = [None] * n
+        visited = bytearray(n)
+        heap: List[Tuple[float, int]] = [(0.0, rank_of[src_i])]
+        pops = 0
+        evals = 0
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        while heap:
+            d, urank = heappop(heap)
+            uidx = idx_by_rank[urank]
+            if visited[uidx]:
+                continue
+            visited[uidx] = 1
+            pops += 1
+            if uidx == dst_i:
+                break
+            edges = adj[uidx]
+            if edges is None:
+                edges = adj[uidx] = self._successor_row(
+                    sw_list, candidates, uidx, isl_a, isl_b
+                )
+            if not edges:
+                continue
+            u = sw_list[uidx]
+            u_n_in = u.n_in
+            u_new_out = u.n_out + 1
+            if u_n_in > u_new_out:
+                u_new_out = u_n_in
+            u_fresh_bit = 2 if u_n_in == 0 and u.n_out == 0 else 0
+            lim_u_base = max_sizes[u.island]
+            ukey = uidx * n
+            for (
+                vidx, crossing, reserve_applies, lim_v_base, capacity,
+                skey_base, ekey_base,
+            ) in edges:
+                if visited[vidx]:
+                    continue
+                evals += 1
+                if crossing:
+                    lat_cycles = lat_cross
+                    lat_cost = lat_cost_cross
+                else:
+                    lat_cycles = lat_intra
+                    lat_cost = lat_cost_intra
+                best_cost = inf
+                best_action = _REUSE
+                best_link: Optional[Link] = None
+                ebit = -1.0  # computed lazily, at most once per edge
+                v = sw_list[vidx]
+                v_n_in = v.n_in
+                v_n_out = v.n_out
+                # Reuse: scan every (possibly parallel) existing link
+                # and take the first that fits, by link id — parallel
+                # links can differ in residual capacity.
+                existing = pair_links.get(ukey + vidx)
+                if existing:
+                    for link in existing:
+                        if link.capacity_mbps - link._used_mbps + 1e-9 < bw:
+                            continue
+                        if latency_only:
+                            best_cost = float(lat_cycles)
+                        else:
+                            if use_memo:
+                                ekey = ekey_base | (v_n_in << 11) | v_n_out
+                                ebit = ebit_by_key.get(ekey)
+                                if ebit is None:
+                                    misses += 1
+                                    ebit = _edge_traffic_ebit(topo, u, v, cfg)
+                                    ebit_by_key[ekey] = ebit
+                                else:
+                                    hits += 1
+                            else:
+                                ebit = _edge_traffic_ebit(topo, u, v, cfg)
+                            best_cost = bits_per_s * ebit * to_mw + lat_cost
+                        best_link = link
+                        break
+                # Open a new link (subject to size bounds and the
+                # parallel-link policy).
+                if allow_parallel or not existing:
+                    new_v = v_n_in + 1
+                    if v_n_out > new_v:
+                        new_v = v_n_out
+                    if has_reserve and reserve_applies:
+                        lim_u = lim_u_base - port_reserve
+                        lim_v = lim_v_base - port_reserve
+                    else:
+                        lim_u = lim_u_base
+                        lim_v = lim_v_base
+                    if u_new_out <= lim_u and new_v <= lim_v and capacity + 1e-9 >= bw:
+                        if latency_only:
+                            cost = float(lat_cycles) + 1e-6  # prefer reuse on ties
+                        else:
+                            if use_memo:
+                                if ebit < 0.0:
+                                    ekey = ekey_base | (v_n_in << 11) | v_n_out
+                                    ebit = ebit_by_key.get(ekey)
+                                    if ebit is None:
+                                        misses += 1
+                                        ebit = _edge_traffic_ebit(topo, u, v, cfg)
+                                        ebit_by_key[ekey] = ebit
+                                    else:
+                                        hits += 1
+                                skey = skey_base + u_fresh_bit + (
+                                    1 if v_n_in == 0 and v_n_out == 0 else 0
+                                )
+                                static = static_by_key.get(skey)
+                                if static is None:
+                                    misses += 1
+                                    static = _edge_static_open_cost(topo, u, v, cfg)
+                                    static_by_key[skey] = static
+                                else:
+                                    hits += 1
+                            else:
+                                if ebit < 0.0:
+                                    ebit = _edge_traffic_ebit(topo, u, v, cfg)
+                                static = _edge_static_open_cost(topo, u, v, cfg)
+                            cost = (
+                                bits_per_s * ebit * to_mw
+                                + open_weight * static
+                                + lat_cost
+                            )
+                        if cost < best_cost:
+                            best_cost = cost
+                            best_action = _OPEN
+                            best_link = None
+                if best_cost is inf:
+                    # Dead edge: neither reuse nor open could serve this
+                    # pair.  Only here could an indirect-switch bypass
+                    # ever win, so only this voids the dominance skip
+                    # (see __init__) — an eval that produced any option
+                    # strictly dominates the corresponding mid segment.
+                    blocked = True
+                    continue
+                nd = d + best_cost
+                if nd < dist[vidx] - 1e-12:
+                    dist[vidx] = nd
+                    prev[vidx] = (uidx, best_action, best_link)
+                    heappush(heap, (nd, rank_of[vidx]))
+        self._pops += pops
+        self._edge_evals += evals
+        if blocked:
+            self._blocked = True
+        if use_memo:
+            self._cache_hits += hits
+            self._cache_misses += misses
+        if prev[dst_i] is None and dst_i != src_i:
+            return None
+        # Reconstruct hops back from the destination, accumulating the
+        # zero-load latency (source switch + per hop: link + downstream
+        # switch; NI links are free — mirrors repro.sim.zero_load).
+        hops: List[Tuple[int, int, str, Optional[Link]]] = []
+        sw_cycles = lib.switch_traversal_cycles
+        latency = sw_cycles
+        fifo_cycles = lib.fifo_crossing_cycles
+        link_cycles = lib.link_traversal_cycles
+        cur = dst_i
+        while cur != src_i:
+            uidx, action, link = prev[cur]
+            hops.append((uidx, cur, action, link))
+            if sw_list[uidx].island != sw_list[cur].island:
+                latency += fifo_cycles + sw_cycles
+            else:
+                latency += link_cycles + sw_cycles
+            cur = uidx
+        hops.reverse()
+        return hops, latency
+
+    # -- instrumentation -----------------------------------------------
+
+    def _flush_counters(self) -> None:
+        recorder = active_recorder()
+        if recorder is not None:
+            recorder.count("dijkstra_pops", self._pops)
+            recorder.count("edge_evals", self._edge_evals)
+            recorder.count("links_opened", self._links_opened)
+            recorder.count("scaffold_clones", self._scaffold_clones)
+            recorder.count("scaffold_builds", self._scaffold_builds)
+            recorder.count("cost_cache_hits", self._cache_hits)
+            recorder.count("cost_cache_misses", self._cache_misses)
+        self._pops = self._edge_evals = 0
+        self._scaffold_clones = self._scaffold_builds = 0
+        self._links_opened = 0
+        self._cache_hits = self._cache_misses = 0
 
 
-def _path_latency(topo: Topology, path: List[_Hop], library: NocLibrary) -> int:
-    """Zero-load latency (cycles) of a candidate hop sequence.
-
-    Mirrors :mod:`repro.sim.zero_load` accounting: source switch + per
-    hop (link + downstream switch); NI links are free.
-    """
-    cycles = library.switch_traversal_cycles
-    for hop in path:
-        u = topo.switches[hop.src_sw]
-        v = topo.switches[hop.dst_sw]
-        cycles += _edge_latency_cycles(topo, u, v)
-    return cycles
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
 
 
 def _ni_link(topo: Topology, src: str, dst: str) -> Link:

@@ -34,6 +34,7 @@ from ..exceptions import InfeasibleError, PartitionError, SynthesisError
 from ..floorplan.annealer import AnnealConfig, anneal_placement
 from ..floorplan.placer import Floorplan, FloorplanConfig, place
 from ..floorplan.wires import assign_wire_lengths
+from ..perf.instrument import active_recorder, maybe_phase
 from ..power.library import DEFAULT_LIBRARY, NocLibrary
 from ..power.noc_power import compute_noc_power
 from ..power.soc_power import compute_soc_power
@@ -41,7 +42,7 @@ from ..sim.zero_load import evaluate_latency
 from .design_point import DesignPoint, DesignSpace
 from .frequency import IslandPlan, plan_all_islands
 from .partition import partition_graph
-from .paths import AllocationResult, PathCostConfig, allocate_paths
+from .paths import AllocationResult, PathAllocator, PathCostConfig
 from .spec import SoCSpec
 from .vcg import build_all_vcgs
 
@@ -79,6 +80,12 @@ class SynthesisConfig:
     validate_points: bool = True
     #: Stop the sweep after this many feasible points (None = full sweep).
     max_design_points: Optional[int] = None
+    #: Enable the synthesis fast path: partition results cached across
+    #: the switch-count sweep, the switch/NI scaffold cloned instead of
+    #: rebuilt per routing attempt, and edge-cost terms memoized inside
+    #: path allocation.  Off reproduces the same design space through
+    #: the unmemoized reference path (used by determinism tests).
+    enable_caches: bool = True
 
 
 def synthesize(
@@ -108,6 +115,12 @@ def synthesize(
         mid_cap = 0
 
     seen_counts: Set[Tuple[Tuple[int, int], ...]] = set()
+    # Step-11 results repeat across the sweep once an island's switch
+    # count saturates; cache them keyed by everything that determines
+    # the result.  ``None`` disables the cache (reference mode).
+    part_cache: Optional[Dict[Tuple[int, int, int, str], List[Set[str]]]] = (
+        {} if cfg.enable_caches else None
+    )
     point_index = 0
     for i in range(0, max_cores + 1):
         counts: Dict[int, int] = {}
@@ -119,21 +132,28 @@ def synthesize(
         seen_counts.add(counts_key)
 
         try:
-            partitions = _partition_islands(spec, vcgs, plans, counts, cfg)
+            with maybe_phase("partitioning"):
+                partitions = _partition_islands(
+                    spec, vcgs, plans, counts, cfg, part_cache
+                )
         except PartitionError as exc:
             space.failures.append((counts_key, -1, "partitioning: %s" % exc))
             continue
 
+        # One allocator per candidate: the switch/NI scaffold and flow
+        # order are shared across the whole intermediate-count sweep.
+        allocator = PathAllocator(
+            spec,
+            library,
+            plans,
+            partitions,
+            cost_config=cfg.path_cost,
+            use_cache=cfg.enable_caches,
+        )
         seen_signatures: Set[Tuple[Tuple[Tuple[int, int], ...], int]] = set()
         for k_mid in range(0, mid_cap + 1):
-            result = allocate_paths(
-                spec,
-                library,
-                plans,
-                partitions,
-                num_intermediate=k_mid,
-                cost_config=cfg.path_cost,
-            )
+            with maybe_phase("allocation"):
+                result = allocator.allocate(num_intermediate=k_mid)
             if not result.success:
                 space.failures.append((counts_key, k_mid, result.reason or "unknown"))
                 continue
@@ -144,9 +164,10 @@ def synthesize(
             if signature in seen_signatures:
                 continue
             seen_signatures.add(signature)
-            point = _evaluate_point(
-                result, plans, counts, k_mid, point_index, library, cfg
-            )
+            with maybe_phase("evaluation"):
+                point = _evaluate_point(
+                    result, plans, counts, k_mid, point_index, library, cfg
+                )
             space.points.append(point)
             point_index += 1
             if cfg.max_design_points is not None and len(space.points) >= cfg.max_design_points:
@@ -161,12 +182,28 @@ def _partition_islands(
     plans: Mapping[int, IslandPlan],
     counts: Mapping[int, int],
     cfg: SynthesisConfig,
+    cache: Optional[Dict[Tuple[int, int, int, str], List[Set[str]]]] = None,
 ) -> Dict[int, List[Set[str]]]:
-    """Step 11: k-way min-cut partition of every island's VCG."""
+    """Step 11: k-way min-cut partition of every island's VCG.
+
+    ``cache`` memoizes results across the switch-count sweep, keyed by
+    ``(island, k, seed, method)``; partitioning is deterministic in
+    those inputs, and the returned groups are never mutated downstream,
+    so sharing entries is safe.
+    """
+    recorder = active_recorder()
     partitions: Dict[int, List[Set[str]]] = {}
     for isl in sorted(counts):
-        vcg = vcgs[isl]
         k = counts[isl]
+        key = (isl, k, cfg.seed, cfg.partition_method)
+        if cache is not None:
+            cached = cache.get(key)
+            if cached is not None:
+                partitions[isl] = cached
+                if recorder is not None:
+                    recorder.count("partition_cache_hits")
+                continue
+        vcg = vcgs[isl]
         parts = partition_graph(
             list(vcg.nodes),
             vcg.symmetric_weights(),
@@ -175,6 +212,10 @@ def _partition_islands(
             seed=cfg.seed,
             method=cfg.partition_method,
         )
+        if cache is not None:
+            cache[key] = parts
+            if recorder is not None:
+                recorder.count("partition_cache_misses")
         partitions[isl] = parts
     return partitions
 

@@ -145,13 +145,34 @@ def _place_switches(
     center), the second refines with switch-to-switch link weights now
     that peers have positions.
     """
+    # One incidence scan over the links replaces the old
+    # per-switch-per-pass full link sweep (O(switches x links) became
+    # the evaluation hot spot at benchmark scale).  Each switch gets its
+    # attraction list in global link order — the same order the old scan
+    # appended in — so the centroid accumulation is bit-identical.  NI
+    # anchors are fixed points; switch anchors (``fixed=False``) are
+    # resolved against the evolving position map each pass.
+    inbound_ni: Dict[str, List[Tuple[Point, float]]] = {
+        sid: [] for sid in topology.switches
+    }
+    pulls: Dict[str, List[Tuple[bool, object, float]]] = {
+        sid: [] for sid in topology.switches
+    }
+    for link in topology.links.values():
+        w = max(link.used_mbps, 1.0)
+        if link.kind == "ni2sw":
+            inbound_ni[link.dst].append((ni_pos[link.src], w))
+            pulls[link.dst].append((True, ni_pos[link.src], w))
+        elif link.kind == "sw2ni":
+            pulls[link.src].append((True, ni_pos[link.dst], w))
+        else:  # sw2sw pulls both endpoints toward each other
+            pulls[link.dst].append((False, link.src, w))
+            pulls[link.src].append((False, link.dst, w))
+
     positions: Dict[str, Point] = {}
-    # Pass 0: NI centroids.
+    # Pass 0: NI centroids (inbound NI links only, as before).
     for sid, sw in topology.switches.items():
-        pts: List[Tuple[Point, float]] = []
-        for link in topology.links.values():
-            if link.kind == "ni2sw" and link.dst == sid:
-                pts.append((ni_pos[link.src], max(link.used_mbps, 1.0)))
+        pts = inbound_ni[sid]
         if pts:
             positions[sid] = _weighted_centroid(pts)
         else:
@@ -161,17 +182,10 @@ def _place_switches(
     for _ in range(2):
         updated: Dict[str, Point] = {}
         for sid, sw in topology.switches.items():
-            pts = []
-            for link in topology.links.values():
-                w = max(link.used_mbps, 1.0)
-                if link.kind == "ni2sw" and link.dst == sid:
-                    pts.append((ni_pos[link.src], w))
-                elif link.kind == "sw2ni" and link.src == sid:
-                    pts.append((ni_pos[link.dst], w))
-                elif link.kind == "sw2sw" and link.dst == sid:
-                    pts.append((positions[link.src], w))
-                elif link.kind == "sw2sw" and link.src == sid:
-                    pts.append((positions[link.dst], w))
+            pts = [
+                (anchor if fixed else positions[anchor], w)
+                for fixed, anchor, w in pulls[sid]
+            ]
             if not pts:
                 continue
             centroid = _weighted_centroid(pts)

@@ -1,0 +1,116 @@
+"""Lightweight synthesis instrumentation: counters and phase timers.
+
+The synthesis hot path (Dijkstra pops, edge-cost evaluations, link
+opens, cache hits) is far too hot for per-event callbacks, so the
+design is pull-based and nearly free when disabled:
+
+* hot loops accumulate plain local integers and flush them *once* per
+  allocation attempt via :meth:`PerfRecorder.count`;
+* coarse stages wrap themselves in :meth:`PerfRecorder.phase` timers;
+* when no recorder is installed (the default), the module-level
+  :func:`active_recorder` returns ``None`` and instrumented code skips
+  the flush entirely — zero dict traffic, zero timer syscalls.
+
+Usage::
+
+    from repro.perf import PerfRecorder, recording
+
+    rec = PerfRecorder()
+    with recording(rec):
+        synthesize(spec)
+    print(rec.snapshot())
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+#: The installed recorder, or ``None`` (instrumentation disabled).
+_ACTIVE: Optional["PerfRecorder"] = None
+
+
+class PerfRecorder:
+    """Accumulates named event counters and named phase wall-clocks.
+
+    Counters are plain integer sums; phases are cumulative seconds (a
+    phase entered N times accumulates N intervals, so per-candidate
+    stages like ``allocation`` report their total share of the run).
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.phase_seconds: Dict[str, float] = {}
+
+    # -- counters ------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (created on first use)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    # -- phase timers --------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block and add it to phase ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.phase_seconds[name] = (
+                self.phase_seconds.get(name, 0.0) + time.perf_counter() - t0
+            )
+
+    # -- reporting -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict view (JSON-ready) of everything recorded."""
+        return {
+            "counters": dict(self.counters),
+            "phase_seconds": {k: round(v, 6) for k, v in self.phase_seconds.items()},
+        }
+
+    def reset(self) -> None:
+        """Clear all counters and timers."""
+        self.counters.clear()
+        self.phase_seconds.clear()
+
+
+def active_recorder() -> Optional[PerfRecorder]:
+    """The installed recorder, or ``None`` when instrumentation is off."""
+    return _ACTIVE
+
+
+def set_recorder(recorder: Optional[PerfRecorder]) -> Optional[PerfRecorder]:
+    """Install ``recorder`` globally; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = recorder
+    return previous
+
+
+@contextmanager
+def recording(recorder: Optional[PerfRecorder] = None) -> Iterator[PerfRecorder]:
+    """Install a recorder for the duration of a ``with`` block.
+
+    Yields the recorder (a fresh one when none is given) and restores
+    the previously installed recorder on exit, so scopes nest safely.
+    """
+    rec = recorder if recorder is not None else PerfRecorder()
+    previous = set_recorder(rec)
+    try:
+        yield rec
+    finally:
+        set_recorder(previous)
+
+
+@contextmanager
+def maybe_phase(name: str) -> Iterator[None]:
+    """Phase-time a block against the active recorder, if any."""
+    rec = _ACTIVE
+    if rec is None:
+        yield
+    else:
+        with rec.phase(name):
+            yield

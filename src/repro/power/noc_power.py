@@ -122,14 +122,15 @@ def compute_noc_power(
         leakage += leak
         leak_by_island[sw.island] += leak
 
+    ni_leak = lib.ni_leakage_mw()
     for ni in topology.nis.values():
         if ni.island not in powered:
             continue
         idle = lib.ni_idle_power_mw(ni.freq_mhz)
         ni_idle += idle
         dyn_by_island[ni.island] += idle
-        leakage += lib.ni_leakage_mw()
-        leak_by_island[ni.island] += lib.ni_leakage_mw()
+        leakage += ni_leak
+        leak_by_island[ni.island] += ni_leak
 
     for link in topology.links.values():
         src_on = link.src_island in powered
@@ -141,14 +142,23 @@ def compute_noc_power(
             )
             fifo_idle += idle
             dyn_by_island[link.dst_island] += idle
-            leakage += lib.fifo_leakage_mw()
-            leak_by_island[link.dst_island] += lib.fifo_leakage_mw()
+            fifo_leak = lib.fifo_leakage_mw()
+            leakage += fifo_leak
+            leak_by_island[link.dst_island] += fifo_leak
         if src_on and dst_on and link.kind == "sw2sw":
             leak = lib.link_leakage_mw(link.length_mm if use_lengths else 0.0)
             leakage += leak
             leak_by_island[link.src_island] += leak
 
     switch_traffic = ni_traffic = link_traffic = fifo_traffic = 0.0
+    # Per-call memos for the pure energy terms: switch crossbars repeat
+    # the same port shapes and every flow over a link sees the same
+    # wire energy, so the library arithmetic runs once per distinct
+    # input instead of once per hop.
+    sw_ebit_memo: Dict[Tuple[int, int], float] = {}
+    link_ebit_memo: Dict[int, float] = {}
+    ni_ebit2 = 2.0 * lib.ni_ebit_pj
+    traffic_power_mw = units.traffic_power_mw
     for key in sorted(active):
         if key not in topology.routes:
             continue
@@ -156,25 +166,31 @@ def compute_noc_power(
         bw = flow.bandwidth_mbps
         route = topology.routes[key]
         # NI energy at both ends.
-        p = units.traffic_power_mw(bw, 2.0 * lib.ni_ebit_pj)
+        p = traffic_power_mw(bw, ni_ebit2)
         ni_traffic += p
         dyn_by_island[spec.island_of(flow.src)] += p / 2.0
         dyn_by_island[spec.island_of(flow.dst)] += p / 2.0
         for comp in route.components[1:-1]:
             sw = topology.switches[comp]
-            p = units.traffic_power_mw(
-                bw, lib.switch_ebit_pj(max(sw.n_in, 1), max(sw.n_out, 1))
-            )
+            shape = (sw.n_in, sw.n_out)
+            ebit = sw_ebit_memo.get(shape)
+            if ebit is None:
+                ebit = lib.switch_ebit_pj(max(sw.n_in, 1), max(sw.n_out, 1))
+                sw_ebit_memo[shape] = ebit
+            p = traffic_power_mw(bw, ebit)
             switch_traffic += p
             dyn_by_island[sw.island] += p
         for lid in route.links:
             link = topology.links[lid]
-            length = link.length_mm if use_lengths else 0.0
-            p = units.traffic_power_mw(bw, lib.link_ebit_pj(length))
+            ebit = link_ebit_memo.get(lid)
+            if ebit is None:
+                ebit = lib.link_ebit_pj(link.length_mm if use_lengths else 0.0)
+                link_ebit_memo[lid] = ebit
+            p = traffic_power_mw(bw, ebit)
             link_traffic += p
             dyn_by_island[link.src_island] += p
             if link.converter:
-                p = units.traffic_power_mw(bw, lib.fifo_ebit_pj)
+                p = traffic_power_mw(bw, lib.fifo_ebit_pj)
                 fifo_traffic += p
                 dyn_by_island[link.dst_island] += p
 

@@ -9,50 +9,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro import (
-    CoreSpec,
-    SoCSpec,
-    SynthesisConfig,
-    TrafficFlow,
-    build_spec,
-    mobile_soc_26,
-    synthesize,
-)
+from repro import SoCSpec, SynthesisConfig, mobile_soc_26, synthesize
 from repro.soc.partitioning import communication_partitioning, logical_partitioning
 
-
-def make_tiny_spec(num_islands: int = 2) -> SoCSpec:
-    """A 6-core spec small enough for exhaustive checks.
-
-    Two equal islands (cpu-side, io-side) with one high-bandwidth flow
-    inside each island, one across, and a low-bandwidth tail.
-    """
-    cores = [
-        CoreSpec("cpu", 2.0, 100.0, 30.0, "cpu", "compute"),
-        CoreSpec("mem", 2.0, 50.0, 40.0, "memory", "compute"),
-        CoreSpec("acc", 1.5, 80.0, 20.0, "accelerator", "compute"),
-        CoreSpec("io0", 0.5, 10.0, 3.0, "io", "io"),
-        CoreSpec("io1", 0.5, 10.0, 3.0, "io", "io"),
-        CoreSpec("per", 0.4, 5.0, 2.0, "peripheral", "io"),
-    ]
-    flows = [
-        TrafficFlow("cpu", "mem", 400.0, 8.0),
-        TrafficFlow("mem", "cpu", 480.0, 8.0),
-        TrafficFlow("acc", "mem", 200.0, 10.0),
-        TrafficFlow("io0", "io1", 40.0, 20.0),
-        TrafficFlow("cpu", "io0", 10.0, 25.0),
-        TrafficFlow("per", "io1", 2.0, 40.0),
-        TrafficFlow("io1", "per", 2.0, 40.0),
-    ]
-    if num_islands == 1:
-        assignment = {c.name: 0 for c in cores}
-    elif num_islands == 2:
-        assignment = {"cpu": 0, "mem": 0, "acc": 0, "io0": 1, "io1": 1, "per": 1}
-    elif num_islands == 3:
-        assignment = {"cpu": 0, "mem": 0, "acc": 1, "io0": 2, "io1": 2, "per": 2}
-    else:
-        raise ValueError("tiny spec supports 1..3 islands")
-    return build_spec("tiny%d" % num_islands, cores, flows, assignment)
+from _helpers import make_tiny_spec
 
 
 @pytest.fixture(scope="session")

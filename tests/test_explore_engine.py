@@ -1,0 +1,140 @@
+"""ExplorationEngine: parallel fan-out, grid sweeps, record plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SynthesisConfig
+from repro.core.explore import (
+    INFEASIBLE,
+    ExplorationEngine,
+    SweepRecord,
+    alpha_exploration,
+    grid_exploration,
+    pareto_merge,
+)
+from repro.exceptions import SpecError
+from repro.io.report import format_table
+
+
+def strip_timing(record):
+    row = record.row()
+    row.pop("seconds")
+    return row
+
+
+class TestSweepRecordRow:
+    def test_infeasible_row_keeps_all_metric_columns(self):
+        rec = SweepRecord(
+            knobs={"alpha": 0.5}, point=None, design_points=0, elapsed_s=0.1,
+            failure="no feasible design point",
+        )
+        row = rec.row()
+        for col in ("noc_power_mw", "avg_latency_cycles", "switches", "converters"):
+            assert row[col] == INFEASIBLE
+        assert row["design_points"] == 0
+
+    def test_mixed_rows_tabulate_aligned(self, tiny_space):
+        good = SweepRecord(
+            knobs={"alpha": 0.2},
+            point=tiny_space.best_by_power(),
+            design_points=len(tiny_space),
+            elapsed_s=0.5,
+        )
+        bad = SweepRecord(
+            knobs={"alpha": 0.9}, point=None, design_points=0, elapsed_s=0.1,
+            failure="x",
+        )
+        assert set(good.row()) == set(bad.row())
+        table = format_table([good.row(), bad.row()])
+        assert INFEASIBLE in table
+        # Every line of the table body has the same column structure.
+        lines = table.strip().splitlines()
+        assert len(lines) == 4
+
+
+class TestEngine:
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(SpecError):
+            ExplorationEngine(workers=0)
+
+    def test_parallel_matches_serial(self, tiny_spec):
+        alphas = [0.2, 0.8]
+        serial = alpha_exploration(tiny_spec, alphas, workers=1)
+        parallel = alpha_exploration(tiny_spec, alphas, workers=2)
+        assert [strip_timing(r) for r in serial] == [
+            strip_timing(r) for r in parallel
+        ]
+
+    def test_island_count_tasks_label_knobs(self, tiny_spec):
+        engine = ExplorationEngine()
+        tasks = engine.island_count_tasks(
+            tiny_spec.single_island(), [1, 2], strategies=("logical",)
+        )
+        assert [t.knobs for t in tasks] == [
+            {"islands": 1, "strategy": "logical"},
+            {"islands": 2, "strategy": "logical"},
+        ]
+
+    def test_engine_methods_match_wrappers(self, tiny_spec):
+        engine = ExplorationEngine(config=SynthesisConfig(max_intermediate=1))
+        via_engine = engine.alpha_exploration(tiny_spec, [0.5])
+        via_wrapper = alpha_exploration(tiny_spec, [0.5])
+        assert [strip_timing(r) for r in via_engine] == [
+            strip_timing(r) for r in via_wrapper
+        ]
+
+
+class TestGridExploration:
+    def test_cross_product_and_knob_labels(self, tiny_spec):
+        result = grid_exploration(tiny_spec, alphas=[0.2, 0.8], widths=[32, 64])
+        assert len(result.records) == 4
+        assert [r.knobs for r in result.records] == [
+            {"alpha": 0.2, "width_bits": 32},
+            {"alpha": 0.2, "width_bits": 64},
+            {"alpha": 0.8, "width_bits": 32},
+            {"alpha": 0.8, "width_bits": 64},
+        ]
+        assert result.pareto
+        assert all(any(p is r for r in result.records) for p in result.pareto)
+        assert len(result.rows()) == 4 and len(result.pareto_rows()) == len(
+            result.pareto
+        )
+
+    def test_default_axes_run_spec_as_is(self, tiny_spec):
+        result = grid_exploration(tiny_spec)
+        assert len(result.records) == 1
+        assert result.records[0].knobs == {}
+
+    def test_island_axis(self, tiny_spec):
+        result = grid_exploration(
+            tiny_spec.single_island(), islands=[1, 2], strategies=("logical",)
+        )
+        assert [r.knobs["islands"] for r in result.records] == [1, 2]
+
+    def test_rejects_bad_axes(self, tiny_spec):
+        with pytest.raises(SpecError):
+            grid_exploration(tiny_spec, islands=[2], strategies=("psychic",))
+        with pytest.raises(SpecError):
+            grid_exploration(tiny_spec, widths=[0])
+
+    def test_pareto_merge_drops_dominated(self, tiny_spec):
+        result = grid_exploration(tiny_spec, widths=[32, 64])
+        merged = pareto_merge(result.records)
+        # The 64-bit design dominates on power at equal latency here.
+        assert merged
+        powers = [r.point.power_mw for r in merged]
+        assert powers == sorted(powers)
+        for survivor in merged:
+            for other in result.records:
+                if other.point is None or other is survivor:
+                    continue
+                assert not (
+                    other.point.power_mw < survivor.point.power_mw - 1e-12
+                    and other.point.avg_latency_cycles
+                    <= survivor.point.avg_latency_cycles + 1e-12
+                )
+
+    def test_pareto_merge_ignores_infeasible(self):
+        rec = SweepRecord(knobs={}, point=None, design_points=0, elapsed_s=0.0)
+        assert pareto_merge([rec]) == []

@@ -7,7 +7,7 @@ import pytest
 from repro import DEFAULT_LIBRARY, NocLibrary, SpecError, plan_all_islands
 from repro.core.frequency import intermediate_island_freq_mhz, plan_island
 
-from conftest import make_tiny_spec
+from _helpers import make_tiny_spec
 
 
 class TestPlanIsland:

@@ -14,7 +14,7 @@ from repro.core.paths import _allowed_transition
 from repro.core.vcg import build_all_vcgs
 from repro.sim.zero_load import route_latency_cycles
 
-from conftest import make_tiny_spec
+from _helpers import make_tiny_spec
 
 
 def make_allocation(spec, num_intermediate=0, switches_per_island=None, cost=None):

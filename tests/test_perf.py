@@ -1,0 +1,233 @@
+"""Fast-path plumbing: instrumentation, cost caches, determinism.
+
+The synthesis fast path (scaffold cloning, partition memoization,
+edge-cost caching) is only acceptable if it is invisible in the
+results: ``enable_caches`` on and off must yield byte-identical design
+spaces.  These tests pin that contract, plus the cache-invalidation
+semantics and the PerfRecorder used to observe the hot path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SynthesisConfig, synthesize
+from repro.arch.topology import Topology
+from repro.core.paths import EdgeCostCache, PathAllocator, PathCostConfig
+from repro.perf import PerfRecorder, active_recorder, recording
+from repro.power.library import DEFAULT_LIBRARY
+
+from _helpers import make_tiny_spec
+
+
+def space_signature(space):
+    """Order-sensitive identity of every point in a design space."""
+    return [
+        (p.label(), p.power_mw, p.avg_latency_cycles, p.total_switches)
+        for p in space.points
+    ]
+
+
+class TestPerfRecorder:
+    def test_counters_accumulate(self):
+        rec = PerfRecorder()
+        rec.count("pops")
+        rec.count("pops", 41)
+        assert rec.counters == {"pops": 42}
+
+    def test_phase_timers_accumulate(self):
+        rec = PerfRecorder()
+        with rec.phase("alloc"):
+            pass
+        with rec.phase("alloc"):
+            pass
+        assert rec.phase_seconds["alloc"] >= 0.0
+        snap = rec.snapshot()
+        assert set(snap) == {"counters", "phase_seconds"}
+
+    def test_recording_installs_and_restores(self):
+        assert active_recorder() is None
+        with recording() as outer:
+            assert active_recorder() is outer
+            with recording() as inner:
+                assert active_recorder() is inner
+            assert active_recorder() is outer
+        assert active_recorder() is None
+
+    def test_reset(self):
+        rec = PerfRecorder()
+        rec.count("x")
+        with rec.phase("p"):
+            pass
+        rec.reset()
+        assert rec.counters == {} and rec.phase_seconds == {}
+
+    def test_synthesis_emits_counters(self, tiny_spec):
+        with recording() as rec:
+            synthesize(tiny_spec, config=SynthesisConfig(max_intermediate=1))
+        assert rec.counters["dijkstra_pops"] > 0
+        assert rec.counters["edge_evals"] > 0
+        assert rec.counters["links_opened"] > 0
+        assert rec.counters["scaffold_clones"] > 0
+        assert rec.counters["partition_cache_misses"] > 0
+        for phase in ("partitioning", "allocation", "evaluation"):
+            assert rec.phase_seconds[phase] >= 0.0
+
+    def test_uncached_run_emits_no_cache_hits(self, tiny_spec):
+        with recording() as rec:
+            synthesize(
+                tiny_spec,
+                config=SynthesisConfig(max_intermediate=1, enable_caches=False),
+            )
+        assert rec.counters.get("cost_cache_hits", 0) == 0
+        assert rec.counters.get("partition_cache_hits", 0) == 0
+        assert rec.counters.get("scaffold_clones", 0) == 0
+        assert rec.counters["scaffold_builds"] > 0
+
+
+class TestEdgeCostCache:
+    @pytest.fixture()
+    def topo(self, tiny_spec):
+        t = Topology(tiny_spec, DEFAULT_LIBRARY, {0: 400.0, 1: 400.0})
+        t.add_switch(0, 0)
+        t.add_switch(0, 1)
+        t.add_switch(1, 0)
+        return t
+
+    def test_hit_after_miss(self, topo):
+        cache = EdgeCostCache(topo, PathCostConfig())
+        u, v, _ = topo.switches.values()
+        first = cache.static_open_cost(u, v)
+        assert cache.misses == 1
+        again = cache.static_open_cost(u, v)
+        assert again == first
+        assert cache.hits == 1
+        assert cache.is_current(u.id, v.id)
+        assert len(cache) == 1
+
+    def test_link_open_invalidates_both_endpoints(self, topo):
+        cache = EdgeCostCache(topo, PathCostConfig())
+        u, v, w = topo.switches.values()
+        stale_static = cache.static_open_cost(u, v)
+        stale_ebit = cache.traffic_ebit(w, v)
+
+        topo.open_link(u.id, v.id)
+        topo.open_link(w.id, v.id)
+        for sw in (u, v, w):
+            cache.invalidate_switch(sw.id)
+
+        assert not cache.is_current(u.id, v.id)
+        assert not cache.is_current(w.id, v.id)
+        # Opening the links consumed both endpoints' first-use
+        # degeneracy, so the recomputed static cost drops the
+        # clock-tree/leakage floor and must differ from the stale one.
+        fresh_static = cache.static_open_cost(u, v)
+        assert cache.misses >= 3
+        assert fresh_static < stale_static
+        # v now has two input ports, so edges into v pay a bigger
+        # crossbar than the stale single-port figure.
+        fresh_ebit = cache.traffic_ebit(w, v)
+        assert fresh_ebit > stale_ebit
+
+    def test_untouched_pairs_survive_invalidation(self, topo):
+        cache = EdgeCostCache(topo, PathCostConfig())
+        u, v, w = topo.switches.values()
+        value = cache.traffic_ebit(u, w)
+        cache.invalidate_switch(v.id)  # unrelated switch
+        assert cache.is_current(u.id, w.id)
+        cache.traffic_ebit(u, w)
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.traffic_ebit(u, w) == value
+
+
+class TestAllocatorCaching:
+    def test_allocator_cached_matches_uncached(self, tiny_spec):
+        from repro.core.frequency import plan_all_islands
+        from repro.core.partition import partition_graph
+        from repro.core.vcg import build_all_vcgs
+
+        plans = plan_all_islands(tiny_spec, DEFAULT_LIBRARY, 25.0, 100.0)
+        vcgs = build_all_vcgs(tiny_spec, 0.6)
+        partitions = {
+            isl: partition_graph(
+                list(vcgs[isl].nodes),
+                vcgs[isl].symmetric_weights(),
+                2,
+                max_part_size=plans[isl].max_switch_size,
+                seed=0,
+            )
+            for isl in plans
+        }
+        results = {}
+        for use_cache in (True, False):
+            alloc = PathAllocator(
+                tiny_spec, DEFAULT_LIBRARY, plans, partitions, use_cache=use_cache
+            )
+            out = []
+            for k_mid in (0, 1, 0, 1):  # repeats exercise scaffold reuse
+                res = alloc.allocate(num_intermediate=k_mid)
+                assert res.success
+                topo = res.require_topology()
+                out.append(
+                    (
+                        sorted(topo.switches),
+                        sorted(
+                            (l.src, l.dst, l.kind, tuple(l.flows))
+                            for l in topo.links.values()
+                        ),
+                        res.links_opened,
+                    )
+                )
+            results[use_cache] = out
+        assert results[True] == results[False]
+
+
+class TestIntermediateDominanceSkip:
+    def test_skip_counter_and_equivalence(self, d26_log6):
+        """When the k=0 routing is never blocked, k>0 attempts are
+        skipped — and the skip must be invisible in the results (the
+        uncached reference run routes every attempt in full)."""
+        cfg = dict(max_intermediate=2)
+        with recording() as rec:
+            cached = synthesize(
+                d26_log6, config=SynthesisConfig(enable_caches=True, **cfg)
+            )
+        assert rec.counters.get("intermediate_attempts_skipped", 0) > 0
+        uncached = synthesize(
+            d26_log6, config=SynthesisConfig(enable_caches=False, **cfg)
+        )
+        assert space_signature(cached) == space_signature(uncached)
+
+    def test_skip_disabled_without_caches(self, tiny_spec):
+        with recording() as rec:
+            synthesize(
+                tiny_spec,
+                config=SynthesisConfig(max_intermediate=1, enable_caches=False),
+            )
+        assert rec.counters.get("intermediate_attempts_skipped", 0) == 0
+
+
+class TestSynthesisDeterminism:
+    CFG = dict(max_intermediate=1)
+
+    def assert_identical_spaces(self, spec):
+        cached = synthesize(
+            spec, config=SynthesisConfig(enable_caches=True, **self.CFG)
+        )
+        uncached = synthesize(
+            spec, config=SynthesisConfig(enable_caches=False, **self.CFG)
+        )
+        assert space_signature(cached) == space_signature(uncached)
+        assert cached.failures == uncached.failures
+
+    def test_tiny_spec_identical(self):
+        self.assert_identical_spaces(make_tiny_spec(2))
+
+    def test_tiny_spec_3_islands_identical(self):
+        self.assert_identical_spaces(make_tiny_spec(3))
+
+    def test_mobile_soc_identical(self, d26_log6):
+        self.assert_identical_spaces(d26_log6)
+
+    def test_mobile_soc_communication_identical(self, d26_com4):
+        self.assert_identical_spaces(d26_com4)

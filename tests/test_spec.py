@@ -4,7 +4,7 @@ import pytest
 
 from repro import CoreSpec, SoCSpec, SpecError, TrafficFlow, build_spec
 
-from conftest import make_tiny_spec
+from _helpers import make_tiny_spec
 
 
 def core(name, **kw):

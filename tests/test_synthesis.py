@@ -13,7 +13,7 @@ from repro import (
 )
 from repro.core.spec import CoreSpec
 
-from conftest import make_tiny_spec
+from _helpers import make_tiny_spec
 
 
 class TestDesignSpace:
