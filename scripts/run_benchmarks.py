@@ -16,6 +16,14 @@ The JSON is append-friendly for trend tracking: re-runs overwrite the
 file, so commit it (or archive it) per milestone.  See
 ``docs/performance.md`` for the field-by-field reading guide.
 
+Each run is also archived under ``benchmarks/history/`` (one JSON per
+run, named by timestamp) and, once at least one earlier snapshot
+exists, a regression gate compares the scaling-sweep total against the
+most recent archived run: the harness exits nonzero when the current
+run is slower by more than ``--gate-tolerance`` (wall-clock noise on
+shared machines is real, so the default tolerance is generous).
+``--no-archive`` / ``--no-gate`` opt out.
+
 Usage::
 
     python scripts/run_benchmarks.py                      # full run
@@ -27,6 +35,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import glob
 import json
 import os
 import platform
@@ -38,11 +47,21 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
 
-from repro import SynthesisConfig, synthesize  # noqa: E402
+from repro import SynthesisConfig, mobile_soc_26, synthesize  # noqa: E402
 from repro.core.explore import ExplorationEngine  # noqa: E402
 from repro.perf import PerfRecorder, recording  # noqa: E402
+from repro.runtime import compare_policies, markov_trace  # noqa: E402
 from repro.soc.generator import GeneratorConfig, generate_soc  # noqa: E402
-from repro.soc.partitioning import communication_partitioning  # noqa: E402
+from repro.soc.partitioning import (  # noqa: E402
+    communication_partitioning,
+    logical_partitioning,
+)
+from repro.soc.usecases import use_cases_for  # noqa: E402
+
+#: Where per-run snapshots accumulate for cross-PR trend tracking.
+HISTORY_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "benchmarks", "history"
+)
 
 #: Config mirroring benchmarks/bench_runtime.py's FAST sweep.
 FAST = SynthesisConfig(max_intermediate=1)
@@ -141,6 +160,135 @@ def run_worker_scaling(n_cores: int, workers: int) -> List[Dict[str, object]]:
     return out
 
 
+def run_runtime_shutdown(
+    n_segments: int = 96, seed: int = 11, mean_dwell_ms: float = 40.0
+) -> Dict[str, object]:
+    """Trace-driven policy comparison on d26 (bench_runtime_shutdown.py).
+
+    Records per-policy trace energy and the break-even savings so the
+    history snapshots track the runtime-shutdown number across PRs,
+    next to the synthesis wall-clock.
+    """
+    spec = logical_partitioning(mobile_soc_26(), 6)
+    spec = spec.with_vi_assignment(spec.vi_assignment, name="d26_media")
+    trace = markov_trace(
+        use_cases_for(spec),
+        n_segments=n_segments,
+        seed=seed,
+        mean_dwell_ms=mean_dwell_ms,
+    )
+    t0 = time.perf_counter()
+    best = synthesize(spec, config=FAST).best_by_power()
+    reports = compare_policies(best.topology, trace)
+    dt = time.perf_counter() - t0
+    never = reports["never"]
+    rows = [
+        {
+            "policy": name,
+            "energy_mj": round(r.total_mj, 4),
+            "gate_events": r.gate_events,
+            "violations": len(r.violations),
+            "savings_vs_never": round(r.savings_vs(never), 4),
+        }
+        for name, r in reports.items()
+    ]
+    for row in rows:
+        print(
+            "  %-22s %10.1f mJ  savings %5.1f%%  violations %d"
+            % (
+                row["policy"],
+                row["energy_mj"],
+                100.0 * row["savings_vs_never"],
+                row["violations"],
+            )
+        )
+    return {
+        "trace": {
+            "name": trace.name,
+            "segments": len(trace.segments),
+            "total_ms": round(trace.total_ms, 1),
+        },
+        "policies": rows,
+        "break_even_savings": rows[-1]["savings_vs_never"]
+        if rows[-1]["policy"] == "break_even"
+        else None,
+        "seconds": round(dt, 4),
+    }
+
+
+def archive_snapshot(result: Dict[str, object], history_dir: str) -> str:
+    """Append this run to the history directory (one JSON per run)."""
+    os.makedirs(history_dir, exist_ok=True)
+    stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())
+    path = os.path.join(history_dir, "BENCH_synthesis_%s.json" % stamp)
+    # A same-second rerun must not overwrite the earlier snapshot.
+    n = 1
+    while os.path.exists(path):
+        path = os.path.join(history_dir, "BENCH_synthesis_%s_%d.json" % (stamp, n))
+        n += 1
+    with open(path, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    print("archived %s" % path)
+    return path
+
+
+def history_snapshots(history_dir: str) -> List[str]:
+    """Archived snapshot paths, oldest first (timestamped names sort)."""
+    return sorted(glob.glob(os.path.join(history_dir, "BENCH_synthesis_*.json")))
+
+
+def check_regression(
+    result: Dict[str, object], history_dir: str, tolerance: float
+) -> bool:
+    """Gate the scaling-sweep total against the previous snapshot.
+
+    Returns True (pass) when no comparable earlier data point exists,
+    or when ``current <= previous * tolerance``.  Machine noise makes
+    tight timing gates flaky, so ``tolerance`` should stay generous;
+    the point is catching order-of-magnitude slips, not 5% drifts.
+    Runs *before* the current result is archived — a failing run must
+    not become the next run's baseline.
+    """
+    previous = history_snapshots(history_dir)
+    if not previous:
+        print("regression gate: no earlier snapshot, nothing to compare")
+        return True
+    cur_total = float(result["runtime_scaling"]["total_seconds"])
+    cur_sizes = [r["cores"] for r in result["runtime_scaling"]["rows"]]
+    # Walk back to the newest *comparable* snapshot: a --quick run in
+    # between (different sweep sizes) must not blind the gate.
+    ref_total = None
+    ref_path = ""
+    for path in reversed(previous):
+        try:
+            with open(path) as f:
+                ref = json.load(f)
+            total = float(ref["runtime_scaling"]["total_seconds"])
+            sizes = [r["cores"] for r in ref["runtime_scaling"]["rows"]]
+        except (KeyError, TypeError, ValueError, OSError, json.JSONDecodeError):
+            print("regression gate: %s is unreadable, skipping it" % path)
+            continue
+        if sizes != cur_sizes:
+            print(
+                "regression gate: %s used sizes %s (current %s), skipping it"
+                % (os.path.basename(path), sizes, cur_sizes)
+            )
+            continue
+        ref_total, ref_path = total, path
+        break
+    if ref_total is None:
+        print("regression gate: no comparable earlier snapshot, nothing to compare")
+        return True
+    limit = ref_total * tolerance
+    verdict = "PASS" if cur_total <= limit else "FAIL"
+    print(
+        "regression gate: %s — scaling total %.2fs vs %.2fs in %s (limit %.2fs)"
+        % (verdict, cur_total, ref_total, os.path.basename(ref_path), limit)
+    )
+    return verdict == "PASS"
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -175,6 +323,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="baseline",
         help="where --baseline-seconds came from (commit, date, machine)",
     )
+    parser.add_argument(
+        "--history-dir",
+        default=HISTORY_DIR,
+        help="where per-run snapshots accumulate (default: benchmarks/history)",
+    )
+    parser.add_argument(
+        "--no-archive",
+        action="store_true",
+        help="do not append this run to the history directory",
+    )
+    parser.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="skip the regression gate against the previous snapshot",
+    )
+    parser.add_argument(
+        "--gate-tolerance",
+        type=float,
+        default=1.5,
+        help="gate fails when scaling total exceeds previous * tolerance",
+    )
     args = parser.parse_args(argv)
 
     sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
@@ -188,6 +357,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     ablation = run_cache_ablation(max(sizes))
     print("worker scaling:")
     worker_rows = run_worker_scaling(min(sizes), args.workers)
+    print("runtime shutdown (d26, markov trace):")
+    runtime_shutdown = run_runtime_shutdown(
+        n_segments=32 if args.quick else 96
+    )
 
     result: Dict[str, object] = {
         "meta": {
@@ -201,6 +374,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "phase_seconds": {k: round(v, 4) for k, v in recorder.phase_seconds.items()},
         "cache_ablation": ablation,
         "worker_scaling": worker_rows,
+        "runtime_shutdown": runtime_shutdown,
     }
     if args.baseline_seconds is not None:
         result["baseline"] = {
@@ -216,7 +390,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         json.dump(result, f, indent=2, sort_keys=False)
         f.write("\n")
     print("wrote %s" % out_path)
-    return 0 if ablation["identical_points"] else 1
+
+    # Gate against the existing history first; only a passing run is
+    # archived, so a regressed run can never ratchet the baseline up.
+    gate_ok = True
+    if not args.no_gate:
+        gate_ok = check_regression(result, args.history_dir, args.gate_tolerance)
+    if not args.no_archive:
+        if gate_ok:
+            archive_snapshot(result, args.history_dir)
+        else:
+            print("not archiving: regression gate failed")
+    return 0 if (ablation["identical_points"] and gate_ok) else 1
 
 
 if __name__ == "__main__":

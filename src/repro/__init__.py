@@ -50,7 +50,18 @@ from .power.library import DEFAULT_LIBRARY, NocLibrary
 from .power.voltage import VoltageTable, voltage_aware_noc_power
 from .power.noc_power import NocPower, compute_noc_power, noc_area_mm2
 from .power.soc_power import SocPower, compute_soc_power
-from .sim.scenarios import UseCase, make_use_case
+from .runtime import (
+    RoutabilityViolation,
+    RuntimeReport,
+    UseCaseTrace,
+    compare_policies,
+    day_in_the_life_trace,
+    make_policy,
+    markov_trace,
+    scripted_trace,
+    simulate_trace,
+)
+from .sim.scenarios import UseCase, make_use_case, validate_scenario_set
 from .sim.zero_load import LatencyReport, evaluate_latency
 from .soc.benchmarks import benchmark_suite, mobile_soc_26
 from .soc.partitioning import communication_partitioning, logical_partitioning
@@ -84,6 +95,8 @@ __all__ = [
     "PartitionError",
     "PathCostConfig",
     "ReproError",
+    "RoutabilityViolation",
+    "RuntimeReport",
     "ShutdownReport",
     "SoCSpec",
     "SocPower",
@@ -93,6 +106,7 @@ __all__ = [
     "Topology",
     "TrafficFlow",
     "UseCase",
+    "UseCaseTrace",
     "VCG",
     "ValidationError",
     "allocate_paths",
@@ -104,12 +118,19 @@ __all__ = [
     "build_spec",
     "build_vcg",
     "communication_partitioning",
+    "compare_policies",
     "compute_noc_power",
     "compute_soc_power",
+    "day_in_the_life_trace",
     "evaluate_latency",
     "logical_partitioning",
+    "make_policy",
     "make_use_case",
+    "markov_trace",
     "mobile_soc_26",
+    "scripted_trace",
+    "simulate_trace",
+    "validate_scenario_set",
     "noc_area_mm2",
     "partition_graph",
     "place",

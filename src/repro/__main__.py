@@ -1,0 +1,14 @@
+"""``python -m repro`` — the ``repro-noc`` command line.
+
+Lets the CLI run without installing console scripts (containers mount
+the repo and set ``PYTHONPATH=src``)::
+
+    python -m repro runtime --benchmark d26_media --policy break_even
+"""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

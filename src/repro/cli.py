@@ -15,6 +15,12 @@ Subcommands
 ``shutdown``
     Shutdown-capability comparison: VI-aware vs VI-oblivious baseline
     across the benchmark's use cases (the leakage-savings story).
+``runtime``
+    Trace-driven runtime shutdown simulation: replay a seeded-Markov
+    (or day-in-the-life) use-case trace through per-island power-state
+    machines under all four gating policies and report energy over
+    time, wake events, stalls and routability violations (see
+    docs/runtime.md).
 
 Examples::
 
@@ -22,6 +28,7 @@ Examples::
     repro-noc synth d26_media --islands 6 --strategy logical --dot topo.dot
     repro-noc sweep d26_media --counts 1,2,3,4,5,6,7,26 --csv fig2.csv
     repro-noc shutdown d26_media --islands 6
+    repro-noc runtime --benchmark d26_media --policy break_even
 """
 
 from __future__ import annotations
@@ -38,7 +45,15 @@ from .io.dot import save_dot
 from .io.floorplan_art import floorplan_to_ascii, save_floorplan_svg
 from .io.json_io import design_point_summary, save_topology
 from .io.report import format_table, percent, save_csv
-from .power.leakage import weighted_savings_fraction
+from .power.leakage import statically_pinned_islands, weighted_savings_fraction
+from .runtime import (
+    POLICY_NAMES,
+    certified_policy_comparison,
+    compare_policies,
+    day_in_the_life_trace,
+    markov_trace,
+    policy_comparison_rows,
+)
 from .soc.benchmarks import BENCHMARKS, load_benchmark
 from .soc.partitioning import communication_partitioning, logical_partitioning
 from .soc.usecases import use_cases_for
@@ -166,6 +181,75 @@ def _cmd_shutdown(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runtime(args: argparse.Namespace) -> int:
+    spec = _partitioned(args.benchmark, args.islands, args.strategy)
+    cases = use_cases_for(spec)
+    if args.trace == "markov":
+        trace = markov_trace(
+            cases,
+            n_segments=args.segments,
+            seed=args.seed,
+            mean_dwell_ms=args.dwell_ms,
+        )
+    else:
+        # One round emits one segment per use case; pick the round
+        # count whose segment total comes closest to --segments.
+        trace = day_in_the_life_trace(
+            cases,
+            total_ms=args.segments * args.dwell_ms,
+            rounds=max(1, round(args.segments / len(cases))),
+        )
+    best = synthesize(spec, config=SynthesisConfig(seed=args.seed)).best_by_power()
+    reports = compare_policies(best.topology, trace)
+    rows = policy_comparison_rows(list(reports.values()))
+    print(
+        format_table(
+            rows,
+            title="%s, %d islands: trace %s (%d segments, %.0f ms, %d transitions)"
+            % (
+                args.benchmark,
+                args.islands,
+                trace.name,
+                len(trace.segments),
+                trace.total_ms,
+                trace.num_transitions,
+            ),
+        )
+    )
+    focus = reports[args.policy]
+    print(
+        format_table(
+            focus.island_rows(),
+            title="per-island runtime under %s" % focus.policy,
+        )
+    )
+    for v in focus.violations[:10]:
+        print("VIOLATION: %s" % v.describe())
+    if args.csv:
+        save_csv(rows, args.csv)
+        print("wrote %s" % args.csv)
+    if args.baseline:
+        oblivious = synthesize_vi_oblivious(spec, config=SynthesisConfig(seed=args.seed))
+        pinned = sorted(statically_pinned_islands(oblivious.topology))
+        orep = certified_policy_comparison(oblivious.topology, trace)
+        orows = policy_comparison_rows(list(orep.values()))
+        print(
+            format_table(
+                orows,
+                title="VI-oblivious baseline, certified controller "
+                "(islands %s pinned awake by third-party routes)"
+                % (",".join(map(str, pinned)) or "none"),
+            )
+        )
+        aware_sav = focus.savings_vs(reports["never"])
+        obl_sav = orep[args.policy].savings_vs(orep["never"])
+        print(
+            "runtime savings under %s: VI-aware %s vs certified VI-oblivious %s"
+            % (args.policy, percent(aware_sav), percent(obl_sav))
+        )
+    return 0 if focus.routable else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-noc`` argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -212,6 +296,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_shut = sub.add_parser("shutdown", help="shutdown capability vs baseline")
     common(p_shut)
     p_shut.set_defaults(func=_cmd_shutdown)
+
+    p_rt = sub.add_parser(
+        "runtime", help="trace-driven runtime shutdown simulation"
+    )
+    p_rt.add_argument(
+        "--benchmark", required=True, help="benchmark name (see `list`)"
+    )
+    p_rt.add_argument("--islands", type=int, default=4, help="voltage island count")
+    p_rt.add_argument(
+        "--strategy",
+        choices=("logical", "communication"),
+        default="logical",
+        help="island assignment strategy",
+    )
+    p_rt.add_argument("--seed", type=int, default=0, help="deterministic seed")
+    p_rt.add_argument(
+        "--policy",
+        choices=POLICY_NAMES,
+        default="break_even",
+        help="policy for the per-island detail (all four are compared)",
+    )
+    p_rt.add_argument(
+        "--trace",
+        choices=("markov", "day"),
+        default="markov",
+        help="trace generator: seeded Markov chain or deterministic day-in-the-life",
+    )
+    p_rt.add_argument(
+        "--segments",
+        type=int,
+        default=96,
+        help="trace length in segments (day traces round to whole passes "
+        "over the use-case set)",
+    )
+    p_rt.add_argument(
+        "--dwell-ms", type=float, default=40.0, help="mean mode dwell time"
+    )
+    p_rt.add_argument(
+        "--baseline",
+        action="store_true",
+        help="also replay the trace on the VI-oblivious baseline",
+    )
+    p_rt.add_argument("--csv", help="also write the policy table as CSV")
+    p_rt.set_defaults(func=_cmd_runtime)
 
     return parser
 

@@ -25,7 +25,10 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import InfeasibleError, SpecError
+from ..power.gating import GatingModel
 from ..power.library import DEFAULT_LIBRARY, NocLibrary
+from ..runtime.simulate import simulate_trace
+from ..runtime.trace import UseCaseTrace
 from ..soc.partitioning import communication_partitioning, logical_partitioning
 from .design_point import DesignPoint, DesignSpace
 from .spec import SoCSpec
@@ -280,6 +283,34 @@ class ExplorationEngine:
             )
         return self.run(tasks)
 
+    # -- runtime-energy objective --------------------------------------
+
+    def runtime_exploration(
+        self,
+        spec: SoCSpec,
+        counts: Sequence[int],
+        trace: UseCaseTrace,
+        strategies: Sequence[str] = ("logical",),
+        policy: str = "break_even",
+        model: Optional[GatingModel] = None,
+    ) -> List[SweepRecord]:
+        """Island-count sweep selecting by *trace energy*, not mW snapshot.
+
+        Each sweep point synthesizes as usual but the chosen design
+        point is the one with the lowest simulated energy over
+        ``trace`` under ``policy`` (:class:`RuntimeEnergySelector`) —
+        the dynamic analogue of ``best_by_power``.  The trace's use
+        cases must validate against every partitioned spec, so traces
+        built from curated scenario sets require partitionings that
+        keep the benchmark name (see ``cli._partitioned``).
+        """
+        select = RuntimeEnergySelector(trace=trace, policy=policy, model=model)
+        tasks = [
+            dataclasses.replace(t, select=select)
+            for t in self.island_count_tasks(spec, counts, strategies)
+        ]
+        return self.run(tasks)
+
     # -- cross-product sweep -------------------------------------------
 
     def grid_exploration(
@@ -356,6 +387,62 @@ class GridResult:
     def pareto_rows(self) -> List[Dict[str, object]]:
         """The Pareto-merged records as table rows."""
         return [r.row() for r in self.pareto]
+
+
+@dataclass(frozen=True)
+class RuntimeEnergySelector:
+    """Pick the design point with the lowest trace energy.
+
+    A pickling-friendly ``select`` callable for :class:`SweepTask`:
+    instead of the static Figure-2 power snapshot, every feasible
+    design point is replayed through
+    :func:`repro.runtime.simulate.simulate_trace` and the one with the
+    lowest total energy wins (ties broken by static power, then index,
+    keeping selection deterministic).  This is the runtime-shutdown
+    sweep objective: a topology that looks slightly worse in mW can win
+    on a real mode sequence by letting more islands gate more often.
+    """
+
+    trace: UseCaseTrace
+    policy: str = "break_even"
+    model: Optional[GatingModel] = None
+
+    def __call__(self, space: DesignSpace) -> DesignPoint:
+        from ..runtime.policies import make_policy
+
+        space.require_feasible()
+        policy = make_policy(self.policy)
+        best: Optional[DesignPoint] = None
+        best_key: Optional[Tuple[float, float, int]] = None
+        for point in space.points:
+            report = simulate_trace(
+                point.topology,
+                self.trace,
+                policy,
+                model=self.model,
+                check_routability=False,
+            )
+            key = (report.total_mj, point.power_mw, point.index)
+            if best_key is None or key < best_key:
+                best, best_key = point, key
+        assert best is not None  # require_feasible guarantees points
+        return best
+
+
+def runtime_exploration(
+    spec: SoCSpec,
+    counts: Sequence[int],
+    trace: UseCaseTrace,
+    strategies: Sequence[str] = ("logical",),
+    policy: str = "break_even",
+    model: Optional[GatingModel] = None,
+    library: NocLibrary = DEFAULT_LIBRARY,
+    config: Optional[SynthesisConfig] = None,
+    workers: int = 1,
+) -> List[SweepRecord]:
+    """Module-level wrapper over :meth:`ExplorationEngine.runtime_exploration`."""
+    engine = ExplorationEngine(workers, library, config)
+    return engine.runtime_exploration(spec, counts, trace, strategies, policy, model)
 
 
 def _strategy_fn(strategy: str) -> Callable[[SoCSpec, int], SoCSpec]:

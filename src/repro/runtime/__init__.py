@@ -1,0 +1,89 @@
+"""Runtime shutdown simulation: trace-driven island power-state machines.
+
+The static analyses (:mod:`repro.power.leakage`,
+:mod:`repro.power.gating`) answer "which islands *can* be gated and
+what would that save on average"; this package answers "what does a
+device actually save over a real mode sequence" — including wake-up
+energy, wake latency stalls, and a dynamic verification of the paper's
+core guarantee that no active flow ever crosses a gated island.
+
+Modules
+-------
+
+``trace``
+    :class:`UseCaseTrace` and the scripted / day-in-the-life / seeded
+    Markov trace generators.
+``states``
+    Per-island ON/OFF/WAKING :class:`IslandStateMachine`.
+``policies``
+    Gating policies (``never``, ``always_off``, ``idle_timeout``,
+    ``break_even``) and per-island :class:`IslandEconomics`.
+``simulate``
+    The trace replay engine: :func:`simulate_trace`,
+    :func:`compare_policies`.
+``report``
+    :class:`RuntimeReport`, :class:`RoutabilityViolation` and table
+    helpers.
+"""
+
+from .policies import (
+    AlwaysOff,
+    BreakEvenOracle,
+    GatingPolicy,
+    IdleTimeout,
+    IslandEconomics,
+    NeverGate,
+    POLICY_NAMES,
+    default_policies,
+    make_policy,
+)
+from .report import (
+    IslandRuntime,
+    RoutabilityViolation,
+    RuntimeReport,
+    policy_comparison_rows,
+)
+from .simulate import (
+    always_on_static_mw,
+    certified_policy_comparison,
+    compare_policies,
+    island_economics,
+    simulate_trace,
+)
+from .states import IslandState, IslandStateMachine, StateInterval
+from .trace import (
+    TraceSegment,
+    UseCaseTrace,
+    day_in_the_life_trace,
+    markov_trace,
+    scripted_trace,
+)
+
+__all__ = [
+    "AlwaysOff",
+    "BreakEvenOracle",
+    "GatingPolicy",
+    "IdleTimeout",
+    "IslandEconomics",
+    "IslandRuntime",
+    "IslandState",
+    "IslandStateMachine",
+    "NeverGate",
+    "POLICY_NAMES",
+    "RoutabilityViolation",
+    "RuntimeReport",
+    "StateInterval",
+    "TraceSegment",
+    "UseCaseTrace",
+    "always_on_static_mw",
+    "certified_policy_comparison",
+    "compare_policies",
+    "day_in_the_life_trace",
+    "default_policies",
+    "island_economics",
+    "make_policy",
+    "markov_trace",
+    "policy_comparison_rows",
+    "scripted_trace",
+    "simulate_trace",
+]

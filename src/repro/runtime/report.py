@@ -1,0 +1,178 @@
+"""Runtime simulation results: energy over a trace, per policy.
+
+A :class:`RuntimeReport` is the trace-driven analogue of the static
+:class:`~repro.power.leakage.ShutdownReport`: instead of a weighted
+average over ``time_fraction`` s it integrates actual mW over actual
+milliseconds, charges every off/on cycle its event energy, and records
+the dynamic safety evidence — wake stalls and routability violations —
+that the static analysis cannot see.
+
+Units: powers are mW, times ms, energies mJ (mW x ms = µJ; fields are
+stored in mJ so a 1 s trace of a 1 W SoC reads as 1000 mJ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..arch.topology import FlowKey
+
+
+@dataclass(frozen=True)
+class RoutabilityViolation:
+    """An active flow whose path crossed a gated (or waking) island.
+
+    The paper's synthesis guarantee — no flow routes through a third
+    island — exists precisely so this never happens; the runtime
+    simulator verifies it dynamically.  ``island`` is the third-party
+    island the route crosses while the policy holds it OFF/WAKING.
+    """
+
+    segment_index: int
+    use_case: str
+    flow: FlowKey
+    island: int
+
+    def describe(self) -> str:
+        return "segment %d (%s): flow %s->%s crosses gated island %d" % (
+            self.segment_index,
+            self.use_case,
+            self.flow[0],
+            self.flow[1],
+            self.island,
+        )
+
+
+@dataclass(frozen=True)
+class IslandRuntime:
+    """One island's runtime statistics over a trace."""
+
+    island: int
+    on_ms: float
+    off_ms: float
+    waking_ms: float
+    gate_events: int
+    wake_events: int
+    #: The island's break-even idle time under the simulator economics.
+    break_even_ms: float
+    #: Static power saved per ms while gated.
+    saved_mw: float
+
+    @property
+    def off_fraction(self) -> float:
+        total = self.on_ms + self.off_ms + self.waking_ms
+        return self.off_ms / total if total > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class RuntimeReport:
+    """Energy-over-time accounting of one policy on one trace."""
+
+    trace_name: str
+    policy: str
+    total_ms: float
+    num_segments: int
+    #: Active-core dynamic energy (policy-independent).
+    core_dynamic_mj: float
+    #: NoC traffic energy of the active flows (policy-independent).
+    noc_traffic_mj: float
+    #: Static energy of gateable islands while ON or WAKING.
+    islands_on_mj: float
+    #: Residual static energy of gateable islands while OFF.
+    islands_off_mj: float
+    #: Static energy of never-gated parts (the intermediate NoC island).
+    always_on_mj: float
+    #: Off/on cycle energy over all gating events.
+    wake_energy_mj: float
+    gate_events: int
+    wake_events: int
+    #: Island-milliseconds spent waiting for wake-ups in needed intervals.
+    stalled_ms: float
+    #: Active flows that had to wait on a waking (src/dst) island.
+    stalled_flows: int
+    violations: Tuple[RoutabilityViolation, ...]
+    per_island: Mapping[int, IslandRuntime]
+
+    @property
+    def total_mj(self) -> float:
+        """Total trace energy."""
+        return (
+            self.core_dynamic_mj
+            + self.noc_traffic_mj
+            + self.islands_on_mj
+            + self.islands_off_mj
+            + self.always_on_mj
+            + self.wake_energy_mj
+        )
+
+    @property
+    def static_mj(self) -> float:
+        """Static (leakage + idle clock) energy, the gating-sensitive part."""
+        return self.islands_on_mj + self.islands_off_mj + self.always_on_mj
+
+    @property
+    def average_power_mw(self) -> float:
+        """Trace-average power draw (mJ / ms = W; reported in mW)."""
+        if self.total_ms <= 0:
+            return 0.0
+        return self.total_mj / self.total_ms * 1000.0
+
+    @property
+    def routable(self) -> bool:
+        """True when no active flow ever crossed a gated island."""
+        return not self.violations
+
+    def savings_vs(self, other: "RuntimeReport") -> float:
+        """Fractional energy saved relative to another report."""
+        if other.total_mj <= 0:
+            return 0.0
+        return (other.total_mj - self.total_mj) / other.total_mj
+
+    def island_rows(self) -> List[Dict[str, object]]:
+        """Per-island table rows for :func:`repro.io.report.format_table`."""
+        rows = []
+        for isl in sorted(self.per_island):
+            r = self.per_island[isl]
+            rows.append(
+                {
+                    "island": r.island,
+                    "on_ms": round(r.on_ms, 2),
+                    "off_ms": round(r.off_ms, 2),
+                    "waking_ms": round(r.waking_ms, 3),
+                    "off_time": "%.1f%%" % (100.0 * r.off_fraction),
+                    "gate_events": r.gate_events,
+                    "wake_events": r.wake_events,
+                    "break_even_us": round(r.break_even_ms * 1000.0, 2)
+                    if r.break_even_ms != float("inf")
+                    else "inf",
+                }
+            )
+        return rows
+
+
+def policy_comparison_rows(
+    reports: Sequence[RuntimeReport],
+) -> List[Dict[str, object]]:
+    """One table row per policy; savings are relative to ``never``.
+
+    Feasible only when all reports come from the same trace; rows keep
+    the input order.
+    """
+    baseline = next((r for r in reports if r.policy == "never"), None)
+    rows = []
+    for r in reports:
+        row: Dict[str, object] = {
+            "policy": r.policy,
+            "energy_mj": round(r.total_mj, 4),
+            "avg_power_mw": round(r.average_power_mw, 2),
+            "static_mj": round(r.static_mj, 4),
+            "wake_mj": round(r.wake_energy_mj, 5),
+            "gate_events": r.gate_events,
+            "stalled_ms": round(r.stalled_ms, 3),
+            "violations": len(r.violations),
+        }
+        if baseline is not None and baseline.total_mj > 0:
+            row["savings"] = "%.1f%%" % (100.0 * r.savings_vs(baseline))
+        rows.append(row)
+    return rows

@@ -11,7 +11,7 @@ can be gated during it and what that saves.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, List, Tuple
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
 
 from ..core.spec import SoCSpec, TrafficFlow
 from ..exceptions import SpecError
@@ -80,3 +80,28 @@ def make_use_case(
         active_cores=frozenset(active_cores),
         time_fraction=time_fraction,
     )
+
+
+def validate_scenario_set(use_cases: Sequence[UseCase]) -> None:
+    """Check a *set* of use cases is a valid residency mix.
+
+    Individual :class:`UseCase` validation cannot see the set, so the
+    two set-level invariants live here: names must be unique (they key
+    report dictionaries), and the ``time_fraction`` s must sum to at
+    most 1.0 — they are shares of device-on time, and every weighted
+    average in :mod:`repro.power.leakage` and every trace generator in
+    :mod:`repro.runtime.trace` assumes that.  A small float tolerance
+    absorbs sets authored as ``1/3 + 1/3 + 1/3``.
+    """
+    if not use_cases:
+        raise SpecError("scenario set must contain at least one use case")
+    names = [u.name for u in use_cases]
+    dupes = sorted({n for n in names if names.count(n) > 1})
+    if dupes:
+        raise SpecError("scenario set has duplicate use-case names %s" % dupes)
+    total = sum(u.time_fraction for u in use_cases)
+    if total > 1.0 + 1e-9:
+        raise SpecError(
+            "scenario set time fractions sum to %.4f > 1.0 (%s)"
+            % (total, ", ".join("%s=%.3f" % (u.name, u.time_fraction) for u in use_cases))
+        )

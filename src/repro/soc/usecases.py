@@ -12,7 +12,7 @@ from typing import Dict, List
 
 from ..core.spec import SoCSpec
 from ..exceptions import SpecError
-from ..sim.scenarios import UseCase, make_use_case
+from ..sim.scenarios import UseCase, make_use_case, validate_scenario_set
 
 
 def mobile_use_cases() -> List[UseCase]:
@@ -95,6 +95,7 @@ def use_cases_for(spec: SoCSpec) -> List[UseCase]:
         cases = factory()  # type: ignore[operator]
     else:
         cases = generic_use_cases(spec)
+    validate_scenario_set(cases)
     for case in cases:
         case.validate_against(spec)
     return cases

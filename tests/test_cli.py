@@ -72,3 +72,57 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "vi_aware" in out and "vi_oblivious" in out
         assert "weighted savings" in out
+
+    @pytest.mark.runtime
+    def test_runtime(self, capsys, tmp_path):
+        csv = str(tmp_path / "runtime.csv")
+        code = main(
+            [
+                "runtime",
+                "--benchmark",
+                "d12_auto",
+                "--islands",
+                "3",
+                "--policy",
+                "break_even",
+                "--segments",
+                "24",
+                "--csv",
+                csv,
+            ]
+        )
+        assert code == 0  # nonzero would mean routability violations
+        out = capsys.readouterr().out
+        for policy in ("never", "always_off", "idle_timeout", "break_even"):
+            assert policy in out
+        assert "per-island runtime" in out
+        with open(csv) as f:
+            header = f.readline()
+        assert "energy_mj" in header and "violations" in header
+
+    @pytest.mark.runtime
+    def test_runtime_baseline_comparison(self, capsys):
+        code = main(
+            [
+                "runtime",
+                "--benchmark",
+                "d12_auto",
+                "--islands",
+                "3",
+                "--trace",
+                "day",
+                "--segments",
+                "12",
+                "--baseline",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "VI-oblivious baseline" in out
+        assert "runtime savings under break_even" in out
+
+    def test_runtime_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["runtime", "--benchmark", "d12_auto", "--policy", "vibes"]
+            )

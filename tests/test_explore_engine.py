@@ -138,3 +138,50 @@ class TestGridExploration:
     def test_pareto_merge_ignores_infeasible(self):
         rec = SweepRecord(knobs={}, point=None, design_points=0, elapsed_s=0.0)
         assert pareto_merge([rec]) == []
+
+
+@pytest.mark.runtime
+class TestRuntimeObjective:
+    """The trace-energy sweep objective (ISSUE 3 integration)."""
+
+    @pytest.fixture(scope="class")
+    def trace(self, tiny_spec):
+        from repro import make_use_case
+        from repro.runtime import scripted_trace
+
+        cases = [
+            make_use_case("full", [c.name for c in tiny_spec.cores], 0.4),
+            make_use_case("compute", ["cpu", "mem", "acc"], 0.6),
+        ]
+        return scripted_trace(
+            cases, [("full", 20.0), ("compute", 150.0), ("full", 10.0)]
+        )
+
+    def test_selector_picks_lowest_trace_energy(self, tiny_space, trace):
+        from repro.core.explore import RuntimeEnergySelector
+        from repro.runtime import make_policy, simulate_trace
+
+        selector = RuntimeEnergySelector(trace=trace)
+        chosen = selector(tiny_space)
+        policy = make_policy("break_even")
+        energies = {
+            p.index: simulate_trace(
+                p.topology, trace, policy, check_routability=False
+            ).total_mj
+            for p in tiny_space.points
+        }
+        assert energies[chosen.index] == pytest.approx(min(energies.values()))
+
+    def test_runtime_exploration_records(self, tiny_spec, trace):
+        from repro.core.explore import runtime_exploration
+
+        records = runtime_exploration(
+            tiny_spec.single_island(),
+            counts=[2],
+            trace=trace,
+            strategies=("logical",),
+            config=SynthesisConfig(max_intermediate=1),
+        )
+        assert len(records) == 1
+        assert records[0].feasible
+        assert records[0].knobs == {"islands": 2, "strategy": "logical"}

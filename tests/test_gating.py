@@ -1,0 +1,166 @@
+"""Power-gating economics: break-even behaviour and schedule savings.
+
+Covers the ISSUE-3 satellite: break-even monotonicity in the island's
+size terms, and consistency between the event-aware
+:func:`gating_schedule_savings` and the static
+:func:`analyze_shutdown` in the long-residency limit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import pytest
+
+from repro import SpecError, break_even_time_ms, island_gating_cost
+from repro.power.gating import (
+    GatingCost,
+    GatingModel,
+    gating_schedule_savings,
+    island_gated_area_mm2,
+    island_powered_leakage_mw,
+)
+from repro.power.leakage import analyze_shutdown, weighted_savings_fraction
+from repro.soc.usecases import use_cases_for
+
+
+def _cost(area=1.0, saved=10.0, event=20.0, latency=5.0):
+    return GatingCost(
+        island=0,
+        gated_area_mm2=area,
+        leakage_saved_mw=saved,
+        event_energy_nj=event,
+        wakeup_latency_us=latency,
+    )
+
+
+class TestBreakEven:
+    def test_larger_event_energy_lengthens_break_even(self):
+        """Bigger islands pay more per cycle: at fixed leakage, more
+        gated area (hence event energy) means a longer break-even."""
+        small = _cost(event=20.0)
+        large = _cost(event=80.0)
+        assert break_even_time_ms(large) > break_even_time_ms(small)
+
+    def test_more_leakage_shortens_break_even(self):
+        leaky = _cost(saved=40.0)
+        tight = _cost(saved=5.0)
+        assert break_even_time_ms(leaky) < break_even_time_ms(tight)
+
+    def test_zero_savings_never_breaks_even(self):
+        assert break_even_time_ms(_cost(saved=0.0)) == math.inf
+
+    def test_area_monotonicity_through_model(self, tiny_best):
+        """Scaling the per-area rail energy scales break-even up.
+
+        The model-level version of "larger islands take longer to pay
+        off": the same island under a technology with heavier rail
+        capacitance must show a longer break-even.
+        """
+        topo = tiny_best.topology
+        light = GatingModel()
+        heavy = dataclasses.replace(
+            light,
+            rail_cycle_energy_nj_per_mm2=light.rail_cycle_energy_nj_per_mm2 * 4,
+        )
+        for island in topo.spec.islands:
+            t_light = break_even_time_ms(island_gating_cost(topo, island, light))
+            t_heavy = break_even_time_ms(island_gating_cost(topo, island, heavy))
+            assert t_heavy > t_light
+
+    def test_break_even_ordering_tracks_area_per_leakage(self, d26_best):
+        """Across real islands, break-even is monotone in the ratio
+        event-energy / leakage-saved (the defining quantity)."""
+        topo = d26_best.topology
+        islands = topo.spec.islands
+        ratios = {}
+        for isl in islands:
+            cost = island_gating_cost(topo, isl)
+            if cost.leakage_saved_mw > 0:
+                ratios[isl] = cost.event_energy_nj / cost.leakage_saved_mw
+        ordered = sorted(ratios, key=lambda i: ratios[i])
+        times = [
+            break_even_time_ms(island_gating_cost(topo, isl)) for isl in ordered
+        ]
+        assert times == sorted(times)
+
+    def test_cost_terms_scale_with_island_content(self, tiny_best):
+        topo = tiny_best.topology
+        for island in topo.spec.islands:
+            cost = island_gating_cost(topo, island)
+            assert cost.gated_area_mm2 == pytest.approx(
+                island_gated_area_mm2(topo, island)
+            )
+            model = GatingModel()
+            assert cost.leakage_saved_mw == pytest.approx(
+                island_powered_leakage_mw(topo, island)
+                * (1 - model.residual_leakage_fraction)
+            )
+            assert cost.wakeup_latency_us > model.wakeup_fixed_us
+
+
+class TestScheduleSavings:
+    @pytest.fixture(scope="class")
+    def reports_and_cases(self, d26_best):
+        spec = d26_best.topology.spec
+        cases = use_cases_for(spec)
+        reports = [
+            analyze_shutdown(d26_best.topology, case) for case in cases
+        ]
+        return reports, cases
+
+    def test_long_residency_limit_matches_analyze_shutdown(
+        self, d26_best, reports_and_cases
+    ):
+        """At zero mode switches the event overhead vanishes and the
+        net savings equal the time-weighted static savings exactly."""
+        reports, cases = reports_and_cases
+        sched = gating_schedule_savings(
+            d26_best.topology, reports, cases, mode_switches_per_second=0.0
+        )
+        assert sched.event_overhead_mw == 0.0
+        fractions = {u.name: u.time_fraction for u in cases}
+        total_w = sum(fractions[r.use_case] for r in reports)
+        expected = sum(
+            r.savings_mw * fractions[r.use_case] for r in reports
+        ) / total_w
+        assert sched.net_savings_mw == pytest.approx(expected)
+        assert sched.ideal_savings_mw == pytest.approx(expected)
+
+    def test_weighted_fraction_consistency(self, d26_best, reports_and_cases):
+        """The schedule's ideal mW and the weighted fraction agree on sign
+        and ordering with weighted_savings_fraction."""
+        reports, cases = reports_and_cases
+        sched = gating_schedule_savings(
+            d26_best.topology, reports, cases, mode_switches_per_second=0.0
+        )
+        frac = weighted_savings_fraction(reports, cases)
+        assert (sched.ideal_savings_mw > 0) == (frac > 0)
+
+    def test_overhead_monotone_in_switch_rate(self, d26_best, reports_and_cases):
+        reports, cases = reports_and_cases
+        rates = [0.0, 10.0, 100.0, 1000.0]
+        overheads = [
+            gating_schedule_savings(
+                d26_best.topology, reports, cases, mode_switches_per_second=r
+            ).event_overhead_mw
+            for r in rates
+        ]
+        assert overheads == sorted(overheads)
+        assert overheads[0] == 0.0 and overheads[-1] > 0.0
+
+    def test_net_savings_never_negative(self, d26_best, reports_and_cases):
+        reports, cases = reports_and_cases
+        sched = gating_schedule_savings(
+            d26_best.topology, reports, cases, mode_switches_per_second=1e9
+        )
+        assert sched.net_savings_mw == 0.0
+        assert sched.overhead_fraction == 1.0
+
+    def test_negative_rate_rejected(self, d26_best, reports_and_cases):
+        reports, cases = reports_and_cases
+        with pytest.raises(SpecError):
+            gating_schedule_savings(
+                d26_best.topology, reports, cases, mode_switches_per_second=-1.0
+            )

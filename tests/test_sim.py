@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro import SpecError, evaluate_latency, make_use_case
+from repro import SpecError, evaluate_latency, make_use_case, validate_scenario_set
+from repro.soc.usecases import use_cases_for
 from repro.sim.events import EventQueue, run_until
 from repro.sim.flit_sim import FlitSimConfig, simulate, zero_load_latency_ns
 from repro.sim.zero_load import route_latency_cycles
@@ -167,3 +168,44 @@ class TestUseCases:
             make_use_case("x", ["a"], time_fraction=0.0)
         with pytest.raises(SpecError):
             make_use_case("x", ["a"], time_fraction=1.5)
+
+
+class TestScenarioSetValidation:
+    def test_fractions_must_sum_to_at_most_one(self):
+        cases = [
+            make_use_case("a", ["x"], 0.6),
+            make_use_case("b", ["x"], 0.6),
+        ]
+        with pytest.raises(SpecError, match="sum to"):
+            validate_scenario_set(cases)
+
+    def test_exact_one_and_thirds_tolerated(self):
+        validate_scenario_set(
+            [
+                make_use_case("a", ["x"], 0.5),
+                make_use_case("b", ["x"], 0.5),
+            ]
+        )
+        validate_scenario_set(
+            [make_use_case(n, ["x"], 1.0 / 3.0) for n in ("a", "b", "c")]
+        )
+
+    def test_partial_coverage_allowed(self):
+        validate_scenario_set([make_use_case("a", ["x"], 0.4)])
+
+    def test_duplicate_names_rejected(self):
+        cases = [
+            make_use_case("a", ["x"], 0.2),
+            make_use_case("a", ["y"], 0.2),
+        ]
+        with pytest.raises(SpecError, match="duplicate"):
+            validate_scenario_set(cases)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(SpecError):
+            validate_scenario_set([])
+
+    def test_builtin_sets_validate(self, d26_log6):
+        # The curated registry path runs the validator on every lookup.
+        cases = use_cases_for(d26_log6)
+        assert sum(u.time_fraction for u in cases) <= 1.0 + 1e-9
