@@ -1,0 +1,103 @@
+"""Pluggable objectives: trace-driven co-synthesis and wake-latency QoS.
+
+The paper's Algorithm 1 minimizes a static power/latency scalar, but
+the quantity a battery actually sees is *energy over a mode sequence
+under gating*.  The unified objective layer (``repro.core.objective``,
+see docs/objectives.md) makes the cost model a plug-in:
+
+1. synthesize d26 @ 4 islands the classic way (static Figure-2 power);
+2. re-synthesize with ``TraceEnergyObjective`` *inside* the synthesis
+   loop — on this spec the co-synthesized point pays ~5 mW more in the
+   static snapshot and still wins on trace energy, because its
+   switch-count split gives the gating controller more opportunity;
+3. show ``WakeLatencyQoSObjective`` rejecting an aggressive gating
+   policy that wins on energy but breaks a per-flow wake deadline —
+   constraints compose with scoring objectives instead of being
+   averaged away.
+
+Run:  PYTHONPATH=src python examples/objective_cosynthesis.py
+"""
+
+import dataclasses
+
+from repro import (
+    SynthesisConfig,
+    TraceEnergyObjective,
+    WakeLatencyQoSObjective,
+    mobile_soc_26,
+    synthesize,
+)
+from repro.io.report import format_table
+from repro.runtime import make_policy, markov_trace, simulate_trace
+from repro.soc.partitioning import logical_partitioning
+from repro.soc.usecases import use_cases_for
+
+
+def main() -> None:
+    spec = logical_partitioning(mobile_soc_26(), 4)
+    spec = spec.with_vi_assignment(spec.vi_assignment, name="d26_media")
+    trace = markov_trace(
+        use_cases_for(spec), n_segments=96, seed=11, mean_dwell_ms=40.0
+    )
+    cfg = SynthesisConfig(max_intermediate=1)
+
+    # -- 1+2: static selection vs trace-driven co-synthesis ------------
+    static_best = synthesize(spec, config=cfg).best_by_power()
+    objective = TraceEnergyObjective(trace=trace)
+    co_space = synthesize(
+        spec, config=dataclasses.replace(cfg, objective=objective)
+    )
+    co_best = co_space.best()
+
+    policy = make_policy("break_even")
+    rows = []
+    for label, point in (("static_power", static_best), ("trace_energy", co_best)):
+        report = simulate_trace(
+            point.topology, trace, policy, check_routability=False
+        )
+        rows.append(
+            {
+                "objective": label,
+                "point": point.label(),
+                "static_mw": round(point.power_mw, 2),
+                "trace_mj": round(report.total_mj, 2),
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title="d26 @ 4 islands: what synthesis optimizes for matters",
+        )
+    )
+    saved = rows[0]["trace_mj"] - rows[1]["trace_mj"]
+    print(
+        "co-synthesis point %s spends %+.2f mW of static power to save "
+        "%.2f mJ of trace energy\n"
+        % (
+            co_best.label(),
+            co_best.power_mw - static_best.power_mw,
+            saved,
+        )
+    )
+
+    # -- 3: QoS rejection of an energy-winning policy -------------------
+    aggressive = TraceEnergyObjective(trace=trace, policy="always_off")
+    energy_view = aggressive.evaluate(static_best)
+    never_mj = simulate_trace(
+        static_best.topology, trace, make_policy("never"), check_routability=False
+    ).total_mj
+    print(
+        "always_off wins on energy: %.1f mJ vs %.1f mJ for never"
+        % (energy_view.cost[0], never_mj)
+    )
+    qos = WakeLatencyQoSObjective(
+        trace=trace, policy="always_off", budget_ms=0.01
+    )
+    verdict = qos.evaluate(static_best)
+    print("wake-QoS verdict on the same policy: feasible=%s" % verdict.feasible)
+    if not verdict.feasible:
+        print("  %s" % verdict.reason)
+
+
+if __name__ == "__main__":
+    main()

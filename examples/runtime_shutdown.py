@@ -5,13 +5,15 @@ use cases by their time fraction and assumes every idle stretch is long
 enough to gate.  This example replays an actual mode *sequence* — a
 seeded-Markov day-in-the-life trace over the 26-core mobile SoC's
 operating modes — through per-island power-state machines and compares
-four gating policies:
+the standard gating policies:
 
-* ``never``       — no shutdown (baseline);
-* ``always_off``  — gate every idle island immediately;
-* ``idle_timeout``— gate after a fixed hold-off;
-* ``break_even``  — clairvoyant: gate only when the coming idle
-                    interval beats the island's break-even time.
+* ``never``          — no shutdown (baseline);
+* ``always_off``     — gate every idle island immediately;
+* ``idle_timeout``   — gate after a fixed hold-off;
+* ``ewma_predictor`` — causal: gate when an EWMA of past idle lengths
+                       predicts the pause beats break-even;
+* ``break_even``     — clairvoyant: gate only when the coming idle
+                       interval beats the island's break-even time.
 
 It then repeats the comparison on the VI-oblivious baseline topology
 under a *certifiable* controller (islands crossed by third-party routes

@@ -24,10 +24,16 @@ run is slower by more than ``--gate-tolerance`` (wall-clock noise on
 shared machines is real, so the default tolerance is generous).
 ``--no-archive`` / ``--no-gate`` opt out.
 
+The runtime-shutdown section also records the causal EWMA policy's gap
+to the break-even oracle and the trace-driven co-synthesis comparison
+(static-power vs ``TraceEnergyObjective`` selection on d26 @ 4
+islands, where the two are known to diverge — see docs/objectives.md).
+
 Usage::
 
     python scripts/run_benchmarks.py                      # full run
     python scripts/run_benchmarks.py --quick              # small sizes
+    python scripts/run_benchmarks.py --keep 20            # bound history/
     python scripts/run_benchmarks.py --workers 4 \
         --baseline-seconds 42.0 --baseline-label "pre-PR2 @daed751"
 """
@@ -47,10 +53,13 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
 
+import dataclasses  # noqa: E402
+
 from repro import SynthesisConfig, mobile_soc_26, synthesize  # noqa: E402
 from repro.core.explore import ExplorationEngine  # noqa: E402
+from repro.core.objective import TraceEnergyObjective  # noqa: E402
 from repro.perf import PerfRecorder, recording  # noqa: E402
-from repro.runtime import compare_policies, markov_trace  # noqa: E402
+from repro.runtime import compare_policies, make_policy, markov_trace, simulate_trace  # noqa: E402
 from repro.soc.generator import GeneratorConfig, generate_soc  # noqa: E402
 from repro.soc.partitioning import (  # noqa: E402
     communication_partitioning,
@@ -202,6 +211,21 @@ def run_runtime_shutdown(
                 row["violations"],
             )
         )
+    # Oracle gap of the causal EWMA predictor (ROADMAP follow-up).
+    oracle_mj = reports["break_even"].total_mj
+    ewma_mj = reports["ewma_predictor"].total_mj
+    ewma_gap = {
+        "ewma_mj": round(ewma_mj, 4),
+        "oracle_mj": round(oracle_mj, 4),
+        "gap_mj": round(ewma_mj - oracle_mj, 4),
+        "gap_fraction": round((ewma_mj - oracle_mj) / oracle_mj, 6)
+        if oracle_mj > 0
+        else None,
+    }
+    print(
+        "  ewma gap vs oracle: %.2f mJ (%.3f%%)"
+        % (ewma_gap["gap_mj"], 100.0 * (ewma_gap["gap_fraction"] or 0.0))
+    )
     return {
         "trace": {
             "name": trace.name,
@@ -209,11 +233,73 @@ def run_runtime_shutdown(
             "total_ms": round(trace.total_ms, 1),
         },
         "policies": rows,
-        "break_even_savings": rows[-1]["savings_vs_never"]
-        if rows[-1]["policy"] == "break_even"
-        else None,
+        "break_even_savings": next(
+            (r["savings_vs_never"] for r in rows if r["policy"] == "break_even"),
+            None,
+        ),
+        "ewma_gap": ewma_gap,
+        "co_synthesis": run_cosynthesis(
+            n_segments=n_segments, seed=seed, mean_dwell_ms=mean_dwell_ms
+        ),
         "seconds": round(dt, 4),
     }
+
+
+def run_cosynthesis(
+    n_segments: int = 96, seed: int = 11, mean_dwell_ms: float = 40.0
+) -> Dict[str, object]:
+    """Trace-driven co-synthesis vs static selection on d26 @ 4 islands.
+
+    Runs Algorithm 1 twice on the spec where the two objectives are
+    known to diverge: once selecting by the static Figure-2 snapshot,
+    once with :class:`TraceEnergyObjective` in the synthesis loop.  The
+    co-synthesized point trades static mW for gating opportunity and
+    must come out at or below the static choice in trace energy.
+    """
+    spec = logical_partitioning(mobile_soc_26(), 4)
+    spec = spec.with_vi_assignment(spec.vi_assignment, name="d26_media")
+    trace = markov_trace(
+        use_cases_for(spec),
+        n_segments=n_segments,
+        seed=seed,
+        mean_dwell_ms=mean_dwell_ms,
+    )
+    objective = TraceEnergyObjective(trace=trace)
+    static_best = synthesize(spec, config=FAST).best_by_power()
+    co_best = synthesize(
+        spec, config=dataclasses.replace(FAST, objective=objective)
+    ).best()
+    policy = make_policy("break_even")
+
+    def trace_mj(point) -> float:
+        return simulate_trace(
+            point.topology, trace, policy, check_routability=False
+        ).total_mj
+
+    static_mj, co_mj = trace_mj(static_best), trace_mj(co_best)
+    out = {
+        "islands": 4,
+        "static_point": static_best.label(),
+        "static_power_mw": round(static_best.power_mw, 4),
+        "static_trace_mj": round(static_mj, 4),
+        "cosynthesis_point": co_best.label(),
+        "cosynthesis_power_mw": round(co_best.power_mw, 4),
+        "cosynthesis_trace_mj": round(co_mj, 4),
+        "trace_mj_saved": round(static_mj - co_mj, 4),
+        "differs": static_best.label() != co_best.label(),
+    }
+    print(
+        "  co-synthesis: static %s (%.1f mJ) vs trace-objective %s (%.1f mJ)"
+        " differs=%s"
+        % (
+            out["static_point"],
+            static_mj,
+            out["cosynthesis_point"],
+            co_mj,
+            out["differs"],
+        )
+    )
+    return out
 
 
 def archive_snapshot(result: Dict[str, object], history_dir: str) -> str:
@@ -236,6 +322,44 @@ def archive_snapshot(result: Dict[str, object], history_dir: str) -> str:
 def history_snapshots(history_dir: str) -> List[str]:
     """Archived snapshot paths, oldest first (timestamped names sort)."""
     return sorted(glob.glob(os.path.join(history_dir, "BENCH_synthesis_*.json")))
+
+
+def _snapshot_sizes(path: str) -> Optional[tuple]:
+    """The scaling-sweep core counts a snapshot recorded, or None."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+        return tuple(r["cores"] for r in data["runtime_scaling"]["rows"])
+    except (KeyError, TypeError, ValueError, OSError, json.JSONDecodeError):
+        return None
+
+
+def prune_history(history_dir: str, keep: int) -> List[str]:
+    """Delete old snapshots, retaining the newest ``keep``; returns removals.
+
+    Runs after archiving, so the run just written is always retained
+    and the history directory stops growing without bound on
+    long-lived checkouts and CI runners.  The newest snapshot of each
+    *sweep-size set* is additionally protected: it is the regression
+    gate's only comparable baseline for that sweep shape, and a
+    ``--quick`` run with a small ``--keep`` must not evict the
+    full-size baseline the next full run gates against.
+    """
+    if keep < 1:
+        raise ValueError("--keep must be >= 1, got %r" % keep)
+    snapshots = history_snapshots(history_dir)
+    retained = set(snapshots[-keep:])
+    newest_by_sizes: Dict[tuple, str] = {}
+    for path in snapshots:  # oldest first: later entries win
+        sizes = _snapshot_sizes(path)
+        if sizes is not None:
+            newest_by_sizes[sizes] = path
+    retained.update(newest_by_sizes.values())
+    doomed = [p for p in snapshots if p not in retained]
+    for path in doomed:
+        os.remove(path)
+        print("pruned %s" % path)
+    return doomed
 
 
 def check_regression(
@@ -344,7 +468,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=1.5,
         help="gate fails when scaling total exceeds previous * tolerance",
     )
+    parser.add_argument(
+        "--keep",
+        type=int,
+        default=None,
+        metavar="N",
+        help="after archiving, retain only the newest N history snapshots",
+    )
     args = parser.parse_args(argv)
+    if args.keep is not None and args.keep < 1:
+        parser.error("--keep must be >= 1")
 
     sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
     if args.quick:
@@ -399,6 +532,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not args.no_archive:
         if gate_ok:
             archive_snapshot(result, args.history_dir)
+            if args.keep is not None:
+                prune_history(args.history_dir, args.keep)
         else:
             print("not archiving: regression gate failed")
     return 0 if (ablation["identical_points"] and gate_ok) else 1

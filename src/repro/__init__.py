@@ -21,10 +21,24 @@ paper-vs-measured record of every figure and table.
 
 from .core.design_point import DesignPoint, DesignSpace
 from .core.explore import (
+    ObjectiveSelector,
+    RuntimeEnergySelector,
     SweepRecord,
     alpha_exploration,
     data_width_exploration,
+    grid_exploration,
     island_count_exploration,
+)
+from .core.objective import (
+    OBJECTIVE_NAMES,
+    CompositeObjective,
+    Objective,
+    ObjectiveResult,
+    StaticLatencyObjective,
+    StaticPowerObjective,
+    TraceEnergyObjective,
+    WakeLatencyQoSObjective,
+    make_objective,
 )
 from .core.frequency import IslandPlan, plan_all_islands
 from .core.partition import partition_graph
@@ -78,13 +92,25 @@ __all__ = [
     "FloorplanConfig",
     "FloorplanError",
     "GatingModel",
+    "OBJECTIVE_NAMES",
+    "CompositeObjective",
+    "Objective",
+    "ObjectiveResult",
+    "ObjectiveSelector",
+    "RuntimeEnergySelector",
+    "StaticLatencyObjective",
+    "StaticPowerObjective",
     "SweepRecord",
+    "TraceEnergyObjective",
     "VoltageTable",
+    "WakeLatencyQoSObjective",
     "alpha_exploration",
     "break_even_time_ms",
     "data_width_exploration",
+    "grid_exploration",
     "island_count_exploration",
     "island_gating_cost",
+    "make_objective",
     "voltage_aware_noc_power",
     "INTERMEDIATE_ISLAND",
     "InfeasibleError",

@@ -11,14 +11,17 @@ Subcommands
     design point (DOT topology, SVG floorplan, JSON).
 ``sweep``
     Island-count sweep over both partitioning strategies (the data
-    behind Figures 2 and 3), as a table or CSV.
+    behind Figures 2 and 3), as a table or CSV.  Both ``synth`` and
+    ``sweep`` take ``--objective`` to select/synthesize under a
+    pluggable cost model (static power/latency, trace energy,
+    wake-latency QoS — see docs/objectives.md).
 ``shutdown``
     Shutdown-capability comparison: VI-aware vs VI-oblivious baseline
     across the benchmark's use cases (the leakage-savings story).
 ``runtime``
     Trace-driven runtime shutdown simulation: replay a seeded-Markov
     (or day-in-the-life) use-case trace through per-island power-state
-    machines under all four gating policies and report energy over
+    machines under all standard gating policies and report energy over
     time, wake events, stalls and routability violations (see
     docs/runtime.md).
 
@@ -39,6 +42,12 @@ from typing import List, Optional
 
 from .baseline.checker import compare_shutdown_capability
 from .baseline.flat import synthesize_vi_oblivious
+from .core.explore import ExplorationEngine
+from .core.objective import (
+    DEFAULT_WAKE_BUDGET_MS,
+    OBJECTIVE_NAMES,
+    make_objective,
+)
 from .core.synthesis import SynthesisConfig, synthesize
 from .exceptions import ReproError
 from .io.dot import save_dot
@@ -71,6 +80,61 @@ def _partitioned(name: str, islands: int, strategy: str):
     return out.with_vi_assignment(out.vi_assignment, name=spec.name)
 
 
+def _objective_for(args: argparse.Namespace, spec):
+    """Build the requested objective; trace-driven ones get a seeded
+    Markov trace over the benchmark's curated use-case set."""
+    name = getattr(args, "objective", "static_power")
+    trace = None
+    if name in ("trace_energy", "wake_qos"):
+        trace = markov_trace(
+            use_cases_for(spec),
+            n_segments=args.trace_segments,
+            seed=args.seed,
+            mean_dwell_ms=args.trace_dwell_ms,
+        )
+    return make_objective(
+        name,
+        trace=trace,
+        policy=getattr(args, "objective_policy", "break_even"),
+        budget_ms=getattr(args, "qos_budget_ms", DEFAULT_WAKE_BUDGET_MS),
+    )
+
+
+def _add_objective_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--objective",
+        choices=OBJECTIVE_NAMES,
+        default="static_power",
+        help="cost model for design-point selection (trace-driven "
+        "objectives replay a seeded Markov trace over the benchmark's "
+        "use cases; see docs/objectives.md)",
+    )
+    p.add_argument(
+        "--objective-policy",
+        choices=POLICY_NAMES,
+        default="break_even",
+        help="gating policy the trace-driven objectives simulate under",
+    )
+    p.add_argument(
+        "--trace-segments",
+        type=int,
+        default=96,
+        help="segments of the objective's Markov trace",
+    )
+    p.add_argument(
+        "--trace-dwell-ms",
+        type=float,
+        default=40.0,
+        help="mean mode dwell time of the objective's Markov trace",
+    )
+    p.add_argument(
+        "--qos-budget-ms",
+        type=float,
+        default=DEFAULT_WAKE_BUDGET_MS,
+        help="per-flow wake-latency budget for the wake_qos objective",
+    )
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     rows = []
     for name in sorted(BENCHMARKS):
@@ -91,10 +155,12 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 def _cmd_synth(args: argparse.Namespace) -> int:
     spec = _partitioned(args.benchmark, args.islands, args.strategy)
+    objective = _objective_for(args, spec)
     config = SynthesisConfig(
         alpha=args.alpha,
         allow_intermediate=not args.no_intermediate,
         seed=args.seed,
+        objective=objective,
     )
     space = synthesize(spec, config=config)
     print(
@@ -105,8 +171,8 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         ),
         end="",
     )
-    best = space.best_by_power()
-    print("\nbest by power: %s" % best.label())
+    best = space.best()
+    print("\nbest by %s: %s" % (objective.describe(), best.label()))
     for key, val in sorted(design_point_summary(best).items()):
         print("  %-24s %s" % (key, val))
     if args.dot:
@@ -125,24 +191,30 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     counts = [int(c) for c in args.counts.split(",")]
-    rows = []
-    for strategy in ("logical", "communication"):
-        for n in counts:
-            spec = _partitioned(args.benchmark, n, strategy)
-            space = synthesize(spec, config=SynthesisConfig(seed=args.seed))
-            best = space.best_by_power()
-            rows.append(
-                {
-                    "islands": n,
-                    "strategy": strategy,
-                    "noc_power_mw": best.power_mw,
-                    "avg_latency_cycles": best.avg_latency_cycles,
-                    "switches": best.total_switches,
-                    "converters": best.topology.num_converters(),
-                    "design_points": len(space),
-                }
-            )
-    print(format_table(rows, title="island-count sweep: %s" % args.benchmark), end="")
+    base = load_benchmark(args.benchmark)
+    objective = _objective_for(args, base)
+    engine = ExplorationEngine(
+        workers=args.workers,
+        config=SynthesisConfig(seed=args.seed),
+        objective=objective,
+    )
+    tasks = [
+        engine.task(
+            _partitioned(args.benchmark, n, strategy),
+            {"islands": n, "strategy": strategy},
+        )
+        for strategy in ("logical", "communication")
+        for n in counts
+    ]
+    rows = [r.row() for r in engine.run(tasks)]
+    print(
+        format_table(
+            rows,
+            title="island-count sweep: %s (objective %s)"
+            % (args.benchmark, objective.describe()),
+        ),
+        end="",
+    )
     if args.csv:
         save_csv(rows, args.csv)
         print("wrote %s" % args.csv)
@@ -284,6 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_synth.add_argument(
         "--ascii-floorplan", action="store_true", help="print ASCII floorplan"
     )
+    _add_objective_args(p_synth)
     p_synth.set_defaults(func=_cmd_synth)
 
     p_sweep = sub.add_parser("sweep", help="island-count sweep (Fig. 2/3 data)")
@@ -291,6 +364,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--counts", default="1,2,3,4,5,6,7", help="comma-separated island counts")
     p_sweep.add_argument("--seed", type=int, default=0)
     p_sweep.add_argument("--csv", help="also write rows as CSV")
+    p_sweep.add_argument(
+        "--workers", type=int, default=1, help="parallel synthesis workers"
+    )
+    _add_objective_args(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_shut = sub.add_parser("shutdown", help="shutdown capability vs baseline")

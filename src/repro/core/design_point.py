@@ -13,7 +13,7 @@ latency).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..arch.topology import Topology
 from ..exceptions import InfeasibleError
@@ -22,6 +22,9 @@ from ..floorplan.wires import WireReport
 from ..power.noc_power import NocPower
 from ..power.soc_power import SocPower
 from ..sim.zero_load import LatencyReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .objective import Objective, ObjectiveResult
 
 
 @dataclass(frozen=True)
@@ -42,6 +45,14 @@ class DesignPoint:
     noc_power: NocPower
     soc_power: SocPower
     latency: LatencyReport
+    #: Score under the synthesis objective, when one was configured
+    #: (``SynthesisConfig(objective=...)``); ``None`` otherwise.
+    objective_result: Optional["ObjectiveResult"] = None
+
+    @property
+    def objective_cost(self) -> Optional[Tuple[float, ...]]:
+        """Cost vector under the synthesis objective, if one was set."""
+        return None if self.objective_result is None else self.objective_result.cost
 
     @property
     def total_switches(self) -> int:
@@ -76,6 +87,9 @@ class DesignSpace:
     failures: List[Tuple[Tuple[Tuple[int, int], ...], int, str]] = field(
         default_factory=list
     )
+    #: The objective the space was synthesized under (co-synthesis);
+    #: ``None`` means the default static-power objective.
+    objective: Optional["Objective"] = None
 
     def __len__(self) -> int:
         return len(self.points)
@@ -96,15 +110,32 @@ class DesignSpace:
                 "no feasible design point for %s (%s)" % (self.spec_name, reasons or "no attempts")
             )
 
+    def best(self, objective: Optional["Objective"] = None) -> DesignPoint:
+        """The best point under ``objective`` (default: the space's own).
+
+        The one selection entry point every caller shares: falls back
+        to the objective the space was synthesized under, then to the
+        static-power default.  Raises :class:`InfeasibleError` when the
+        space is empty or the objective rejects every point.
+        """
+        from .objective import StaticPowerObjective
+
+        obj = objective if objective is not None else self.objective
+        if obj is None:
+            obj = StaticPowerObjective()
+        return obj.select(self)
+
     def best_by_power(self) -> DesignPoint:
         """Lowest NoC dynamic power (Figure 2 picks this per island count)."""
-        self.require_feasible()
-        return min(self.points, key=lambda p: (p.power_mw, p.avg_latency_cycles, p.index))
+        from .objective import StaticPowerObjective
+
+        return StaticPowerObjective().select(self)
 
     def best_by_latency(self) -> DesignPoint:
         """Lowest average zero-load latency."""
-        self.require_feasible()
-        return min(self.points, key=lambda p: (p.avg_latency_cycles, p.power_mw, p.index))
+        from .objective import StaticLatencyObjective
+
+        return StaticLatencyObjective().select(self)
 
     def pareto_front(self) -> List[DesignPoint]:
         """Non-dominated points in the (power, latency) plane.

@@ -21,16 +21,16 @@ import dataclasses
 import itertools
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import InfeasibleError, SpecError
 from ..power.gating import GatingModel
 from ..power.library import DEFAULT_LIBRARY, NocLibrary
-from ..runtime.simulate import simulate_trace
 from ..runtime.trace import UseCaseTrace
 from ..soc.partitioning import communication_partitioning, logical_partitioning
 from .design_point import DesignPoint, DesignSpace
+from .objective import Objective, TraceEnergyObjective
 from .spec import SoCSpec
 from .synthesis import SynthesisConfig, synthesize
 
@@ -49,6 +49,10 @@ class SweepRecord:
     design_points: int
     elapsed_s: float
     failure: Optional[str] = None
+    #: Objective-contributed columns (e.g. ``trace_mj``); infeasible
+    #: records carry the same keys with the :data:`INFEASIBLE`
+    #: placeholder so mixed sweeps keep aligned columns.
+    extras: Mapping[str, object] = field(default_factory=dict)
 
     @property
     def feasible(self) -> bool:
@@ -80,6 +84,7 @@ class SweepRecord:
                     "converters": INFEASIBLE,
                 }
             )
+        out.update(self.extras)
         out["design_points"] = self.design_points
         out["seconds"] = round(self.elapsed_s, 3)
         return out
@@ -101,6 +106,22 @@ class SweepTask:
     select: Callable[[DesignSpace], DesignPoint]
 
 
+def _selector_columns(
+    select: Callable[[DesignSpace], DesignPoint], point: DesignPoint
+) -> Dict[str, object]:
+    """Objective-contributed sweep columns of a selected point."""
+    columns = getattr(select, "columns", None)
+    return dict(columns(point)) if callable(columns) else {}
+
+
+def _selector_column_names(
+    select: Callable[[DesignSpace], DesignPoint],
+) -> Tuple[str, ...]:
+    """Column keys a selector contributes (for infeasible placeholders)."""
+    names = getattr(select, "column_names", None)
+    return tuple(names()) if callable(names) else ()
+
+
 def _run_one(
     spec: SoCSpec,
     library: NocLibrary,
@@ -109,22 +130,28 @@ def _run_one(
     select: Callable[[DesignSpace], DesignPoint],
 ) -> SweepRecord:
     t0 = time.perf_counter()
+    design_points = 0
     try:
         space = synthesize(spec, library, config)
+        design_points = len(space)
         point = select(space)
         return SweepRecord(
             knobs=dict(knobs),
             point=point,
-            design_points=len(space),
+            design_points=design_points,
             elapsed_s=time.perf_counter() - t0,
+            extras=_selector_columns(select, point),
         )
     except InfeasibleError as exc:
+        # Either the sweep found no routable candidate, or the
+        # objective rejected every one (QoS): both are infeasible rows.
         return SweepRecord(
             knobs=dict(knobs),
             point=None,
-            design_points=0,
+            design_points=design_points,
             elapsed_s=time.perf_counter() - t0,
             failure=str(exc),
+            extras={k: INFEASIBLE for k in _selector_column_names(select)},
         )
 
 
@@ -190,13 +217,22 @@ class ExplorationEngine:
         library: NocLibrary = DEFAULT_LIBRARY,
         config: Optional[SynthesisConfig] = None,
         select: Callable[[DesignSpace], DesignPoint] = DesignSpace.best_by_power,
+        objective: Optional[Objective] = None,
     ) -> None:
         if workers < 1:
             raise SpecError("workers must be >= 1, got %r" % workers)
         self.workers = workers
         self.library = library
         self.config = config or SynthesisConfig(max_intermediate=1)
+        if objective is not None:
+            if select is not DesignSpace.best_by_power:
+                raise SpecError(
+                    "pass either select= or objective=, not both "
+                    "(a custom selector would be silently ignored)"
+                )
+            select = ObjectiveSelector(objective)
         self.select = select
+        self.objective = objective
 
     # -- execution -----------------------------------------------------
 
@@ -208,13 +244,15 @@ class ExplorationEngine:
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             return list(pool.map(_execute_task, tasks, chunksize=1))
 
-    def _task(
+    def task(
         self,
         spec: SoCSpec,
         knobs: Mapping[str, object],
         library: Optional[NocLibrary] = None,
         config: Optional[SynthesisConfig] = None,
     ) -> SweepTask:
+        """One sweep task carrying the engine's context (public: call
+        sites with pre-partitioned specs build task lists directly)."""
         return SweepTask(
             spec=spec,
             library=library if library is not None else self.library,
@@ -222,6 +260,9 @@ class ExplorationEngine:
             knobs=dict(knobs),
             select=self.select,
         )
+
+    # Historical private name, used by older call sites.
+    _task = task
 
     # -- single-axis sweeps --------------------------------------------
 
@@ -390,43 +431,57 @@ class GridResult:
 
 
 @dataclass(frozen=True)
+class ObjectiveSelector:
+    """Adapt any :class:`~repro.core.objective.Objective` to a selector.
+
+    The pickling-friendly bridge between the objective layer and
+    :class:`SweepTask`: selection delegates to
+    :meth:`Objective.select` (deterministic cost-then-index
+    tie-breaking), and the objective's sweep columns flow into
+    :attr:`SweepRecord.extras`.
+    """
+
+    objective: Objective
+
+    def __call__(self, space: DesignSpace) -> DesignPoint:
+        return self.objective.select(space)
+
+    def columns(self, point: DesignPoint) -> Dict[str, object]:
+        return self.objective.columns(point)
+
+    def column_names(self) -> Tuple[str, ...]:
+        return self.objective.column_names()
+
+
+@dataclass(frozen=True)
 class RuntimeEnergySelector:
     """Pick the design point with the lowest trace energy.
 
-    A pickling-friendly ``select`` callable for :class:`SweepTask`:
-    instead of the static Figure-2 power snapshot, every feasible
-    design point is replayed through
-    :func:`repro.runtime.simulate.simulate_trace` and the one with the
-    lowest total energy wins (ties broken by static power, then index,
-    keeping selection deterministic).  This is the runtime-shutdown
-    sweep objective: a topology that looks slightly worse in mW can win
-    on a real mode sequence by letting more islands gate more often.
+    Historical name for the trace-energy sweep objective, kept as a
+    thin shim over
+    :class:`~repro.core.objective.TraceEnergyObjective` (identical
+    selection, including the static-power-then-index tie-break); new
+    code should pass ``objective=TraceEnergyObjective(...)`` to the
+    engine instead (see ``docs/objectives.md``).
     """
 
     trace: UseCaseTrace
     policy: str = "break_even"
     model: Optional[GatingModel] = None
 
-    def __call__(self, space: DesignSpace) -> DesignPoint:
-        from ..runtime.policies import make_policy
+    def _objective(self) -> TraceEnergyObjective:
+        return TraceEnergyObjective(
+            trace=self.trace, policy=self.policy, model=self.model
+        )
 
-        space.require_feasible()
-        policy = make_policy(self.policy)
-        best: Optional[DesignPoint] = None
-        best_key: Optional[Tuple[float, float, int]] = None
-        for point in space.points:
-            report = simulate_trace(
-                point.topology,
-                self.trace,
-                policy,
-                model=self.model,
-                check_routability=False,
-            )
-            key = (report.total_mj, point.power_mw, point.index)
-            if best_key is None or key < best_key:
-                best, best_key = point, key
-        assert best is not None  # require_feasible guarantees points
-        return best
+    def __call__(self, space: DesignSpace) -> DesignPoint:
+        return self._objective().select(space)
+
+    def columns(self, point: DesignPoint) -> Dict[str, object]:
+        return self._objective().columns(point)
+
+    def column_names(self) -> Tuple[str, ...]:
+        return self._objective().column_names()
 
 
 def runtime_exploration(
@@ -466,9 +521,10 @@ def island_count_exploration(
     config: Optional[SynthesisConfig] = None,
     select: Callable[[DesignSpace], DesignPoint] = DesignSpace.best_by_power,
     workers: int = 1,
+    objective: Optional[Objective] = None,
 ) -> List[SweepRecord]:
     """The Figures 2/3 sweep: island count x assignment strategy."""
-    engine = ExplorationEngine(workers, library, config, select)
+    engine = ExplorationEngine(workers, library, config, select, objective)
     return engine.island_count_exploration(spec, counts, strategies)
 
 
@@ -479,9 +535,10 @@ def alpha_exploration(
     config: Optional[SynthesisConfig] = None,
     select: Callable[[DesignSpace], DesignPoint] = DesignSpace.best_by_power,
     workers: int = 1,
+    objective: Optional[Objective] = None,
 ) -> List[SweepRecord]:
     """Sweep the Definition-1 weight between bandwidth and latency."""
-    engine = ExplorationEngine(workers, library, config, select)
+    engine = ExplorationEngine(workers, library, config, select, objective)
     return engine.alpha_exploration(spec, alphas)
 
 
@@ -492,9 +549,10 @@ def data_width_exploration(
     config: Optional[SynthesisConfig] = None,
     select: Callable[[DesignSpace], DesignPoint] = DesignSpace.best_by_power,
     workers: int = 1,
+    objective: Optional[Objective] = None,
 ) -> List[SweepRecord]:
     """Sweep the NoC link data width ("could be varied in a range")."""
-    engine = ExplorationEngine(workers, library, config, select)
+    engine = ExplorationEngine(workers, library, config, select, objective)
     return engine.data_width_exploration(spec, widths)
 
 
@@ -508,9 +566,10 @@ def grid_exploration(
     config: Optional[SynthesisConfig] = None,
     select: Callable[[DesignSpace], DesignPoint] = DesignSpace.best_by_power,
     workers: int = 1,
+    objective: Optional[Objective] = None,
 ) -> GridResult:
     """Cross-product sweep over island/strategy/alpha/width knobs."""
-    engine = ExplorationEngine(workers, library, config, select)
+    engine = ExplorationEngine(workers, library, config, select, objective)
     return engine.grid_exploration(spec, islands, strategies, alphas, widths)
 
 

@@ -41,6 +41,7 @@ from ..power.soc_power import compute_soc_power
 from ..sim.zero_load import evaluate_latency
 from .design_point import DesignPoint, DesignSpace
 from .frequency import IslandPlan, plan_all_islands
+from .objective import Objective
 from .partition import partition_graph
 from .paths import AllocationResult, PathAllocator, PathCostConfig
 from .spec import SoCSpec
@@ -86,6 +87,16 @@ class SynthesisConfig:
     #: path allocation.  Off reproduces the same design space through
     #: the unmemoized reference path (used by determinism tests).
     enable_caches: bool = True
+    #: Co-synthesis objective: when set, every evaluated candidate is
+    #: scored under it *inside* the sweep — points the objective
+    #: rejects are recorded as failures (like a routing failure) and
+    #: the surviving points carry their :class:`ObjectiveResult`, so
+    #: trace energy or QoS deadlines steer Algorithm 1's switch-count
+    #: and partition choices directly.  ``None`` (the default) keeps
+    #: the historical behaviour: no scoring during synthesis, and
+    #: selection helpers fall back to the static-power objective —
+    #: byte-identical to passing ``StaticPowerObjective()``.
+    objective: Optional[Objective] = None
 
 
 def synthesize(
@@ -105,7 +116,7 @@ def synthesize(
     cfg = config or SynthesisConfig()
     plans = plan_all_islands(spec, library, cfg.freq_step_mhz, cfg.min_freq_mhz)
     vcgs = build_all_vcgs(spec, cfg.alpha)
-    space = DesignSpace(spec_name=spec.name)
+    space = DesignSpace(spec_name=spec.name, objective=cfg.objective)
 
     max_cores = max(p.num_cores for p in plans.values())
     has_cross_flows = bool(spec.flows_across_islands())
@@ -168,6 +179,18 @@ def synthesize(
                 point = _evaluate_point(
                     result, plans, counts, k_mid, point_index, library, cfg
                 )
+            if point.objective_result is not None and not point.objective_result.feasible:
+                # Co-synthesis rejection: the objective vetoes the
+                # candidate mid-sweep, exactly like a routing failure
+                # (the freed index goes to the next accepted point).
+                space.failures.append(
+                    (
+                        counts_key,
+                        k_mid,
+                        "objective: %s" % (point.objective_result.reason or "rejected"),
+                    )
+                )
+                continue
             space.points.append(point)
             point_index += 1
             if cfg.max_design_points is not None and len(space.points) >= cfg.max_design_points:
@@ -246,7 +269,7 @@ def _evaluate_point(
     noc_power = compute_noc_power(topo, use_lengths=cfg.use_lengths)
     soc_power = compute_soc_power(topo, noc_power)
     latency = evaluate_latency(topo)
-    return DesignPoint(
+    point = DesignPoint(
         index=index,
         switch_counts=dict(counts),
         num_intermediate_requested=k_mid,
@@ -258,3 +281,6 @@ def _evaluate_point(
         soc_power=soc_power,
         latency=latency,
     )
+    if cfg.objective is not None:
+        point = replace(point, objective_result=cfg.objective.evaluate(point))
+    return point

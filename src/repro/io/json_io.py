@@ -218,8 +218,13 @@ def load_topology(path: str, library: Optional[NocLibrary] = None) -> Topology:
 
 
 def design_point_summary(point: DesignPoint) -> Dict[str, Any]:
-    """Flat JSON summary of one design point's metrics."""
-    return {
+    """Flat JSON summary of one design point's metrics.
+
+    Points synthesized under a co-synthesis objective
+    (``SynthesisConfig(objective=...)``) additionally carry their
+    objective cost vector and metrics.
+    """
+    out: Dict[str, Any] = {
         "label": point.label(),
         "switch_counts": {str(k): v for k, v in point.switch_counts.items()},
         "num_intermediate": point.num_intermediate_used,
@@ -233,3 +238,7 @@ def design_point_summary(point: DesignPoint) -> Dict[str, Any]:
         "wire_length_mm": point.wires.total_length_mm,
         "latency_violations": len(point.latency.violations),
     }
+    if point.objective_result is not None:
+        out["objective_cost"] = list(point.objective_result.cost)
+        out["objective_metrics"] = dict(point.objective_result.metrics)
+    return out

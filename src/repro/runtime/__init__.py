@@ -29,6 +29,7 @@ Modules
 from .policies import (
     AlwaysOff,
     BreakEvenOracle,
+    EwmaIdlePredictor,
     GatingPolicy,
     IdleTimeout,
     IslandEconomics,
@@ -62,6 +63,7 @@ from .trace import (
 __all__ = [
     "AlwaysOff",
     "BreakEvenOracle",
+    "EwmaIdlePredictor",
     "GatingPolicy",
     "IdleTimeout",
     "IslandEconomics",

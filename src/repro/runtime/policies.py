@@ -11,6 +11,9 @@ island to a gate time (or ``None`` to stay powered):
 * :class:`IdleTimeout` — gate after the island has been idle for a
   fixed hold-off (the classic causal heuristic: short pauses never
   gate, long ones pay one timeout of leakage first);
+* :class:`EwmaIdlePredictor` — gate immediately iff an EWMA of the
+  island's *past* idle-interval lengths predicts the coming one beats
+  break-even (causal: history only, no clairvoyance);
 * :class:`BreakEvenOracle` — gate immediately, but only when the
   *coming* idle interval exceeds the island's break-even time
   (clairvoyant; the upper bound a causal policy can approach).
@@ -31,7 +34,13 @@ from typing import Dict, Optional, Tuple
 from ..exceptions import SpecError
 
 #: Canonical policy names, in presentation order.
-POLICY_NAMES: Tuple[str, ...] = ("never", "always_off", "idle_timeout", "break_even")
+POLICY_NAMES: Tuple[str, ...] = (
+    "never",
+    "always_off",
+    "idle_timeout",
+    "ewma_predictor",
+    "break_even",
+)
 
 
 @dataclass(frozen=True)
@@ -80,6 +89,24 @@ class IslandEconomics:
             return math.inf
         return self.event_energy_nj / self.saved_mw / 1000.0
 
+    def gating_pays_off(self, idle_ms: float) -> bool:
+        """True when gating an ``idle_ms`` interval saves net energy.
+
+        The single economics comparison every scoring layer shares:
+        the oracle applies it to the true interval, causal predictors
+        to their estimate, and the objective layer's trace-energy
+        accounting integrates exactly the same terms.
+        """
+        return idle_ms > self.break_even_ms
+
+    def gate_net_gain_uj(self, idle_ms: float) -> float:
+        """Net energy saved (µJ) by gating an ``idle_ms`` interval.
+
+        Positive exactly when :meth:`gating_pays_off`; useful when a
+        cost model wants the magnitude, not just the verdict.
+        """
+        return self.saved_mw * idle_ms - self.event_energy_nj * 1e-3
+
 
 class GatingPolicy:
     """Decides, per idle interval, when (if ever) to gate an island."""
@@ -93,10 +120,20 @@ class GatingPolicy:
         """Gate time within ``[idle_start_ms, idle_end_ms)``, or ``None``.
 
         ``idle_end_ms`` is when the island is next needed (trace end
-        for trailing intervals).  Causal policies must not read it —
-        only the oracle may.
+        for trailing intervals).  Causal policies must not read it for
+        the *decision* — only the oracle may; history-learning policies
+        may record it afterwards (the interval is past by the time the
+        next decision is made).
         """
         raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear any per-trace state (called at each trace replay start).
+
+        Stateless policies inherit the no-op; history-based predictors
+        override so one instance can replay many traces/topologies
+        without leaking history across runs.
+        """
 
     def describe(self) -> str:
         """Human-readable one-liner for reports."""
@@ -144,18 +181,62 @@ class IdleTimeout(GatingPolicy):
         return "%s(%.1fms)" % (self.name, self.timeout_ms)
 
 
+class EwmaIdlePredictor(GatingPolicy):
+    """Causal predictor: gate iff the EWMA of past idles beats break-even.
+
+    Keeps, per island, an exponentially weighted moving average of the
+    idle-interval lengths seen *so far* and gates at idle start when
+    that prediction passes :meth:`IslandEconomics.gating_pays_off`.
+    The first interval of each island never gates (no history yet); the
+    observed length of every interval updates the average after the
+    decision, so the policy stays strictly causal while adapting to
+    mode-residency shifts.  The gap between this policy and the
+    clairvoyant :class:`BreakEvenOracle` is the price of causality
+    (tracked in ``benchmarks/bench_runtime_shutdown.py``).
+    """
+
+    name = "ewma_predictor"
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise SpecError("EWMA alpha must be in (0, 1], got %r" % alpha)
+        self.alpha = alpha
+        self._ewma: Dict[int, float] = {}
+
+    def reset(self) -> None:
+        self._ewma.clear()
+
+    def gate_time(self, idle_start_ms, idle_end_ms, econ):
+        predicted = self._ewma.get(econ.island)
+        decision = None
+        if predicted is not None and econ.gating_pays_off(predicted):
+            decision = idle_start_ms
+        observed = idle_end_ms - idle_start_ms
+        if predicted is None:
+            self._ewma[econ.island] = observed
+        else:
+            self._ewma[econ.island] = (
+                self.alpha * observed + (1.0 - self.alpha) * predicted
+            )
+        return decision
+
+    def describe(self) -> str:
+        return "%s(a=%.2f)" % (self.name, self.alpha)
+
+
 class BreakEvenOracle(GatingPolicy):
     """Gate immediately iff the coming idle interval beats break-even.
 
     Clairvoyant in the idle-interval length only; given the simulator's
     per-island economics this is the per-interval optimum, so its trace
-    energy is a lower bound over {never, always_off, idle_timeout}.
+    energy is a lower bound over {never, always_off, idle_timeout,
+    ewma_predictor}.
     """
 
     name = "break_even"
 
     def gate_time(self, idle_start_ms, idle_end_ms, econ):
-        if idle_end_ms - idle_start_ms > econ.break_even_ms:
+        if econ.gating_pays_off(idle_end_ms - idle_start_ms):
             return idle_start_ms
         return None
 
@@ -171,6 +252,7 @@ def make_policy(name: str, **kwargs) -> GatingPolicy:
         "never": NeverGate,
         "always_off": AlwaysOff,
         "idle_timeout": IdleTimeout,
+        "ewma_predictor": EwmaIdlePredictor,
         "break_even": BreakEvenOracle,
     }
     if key not in classes:
@@ -182,10 +264,11 @@ def make_policy(name: str, **kwargs) -> GatingPolicy:
 
 
 def default_policies(timeout_ms: float = 20.0) -> Tuple[GatingPolicy, ...]:
-    """The four standard policies, in presentation order."""
+    """The five standard policies, in presentation order."""
     return (
         NeverGate(),
         AlwaysOff(),
         IdleTimeout(timeout_ms=timeout_ms),
+        EwmaIdlePredictor(),
         BreakEvenOracle(),
     )

@@ -13,7 +13,7 @@ stored in mJ so a 1 s trace of a 1 W SoC reads as 1000 mJ).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 from ..arch.topology import FlowKey
@@ -58,6 +58,8 @@ class IslandRuntime:
     break_even_ms: float
     #: Static power saved per ms while gated.
     saved_mw: float
+    #: Longest single wake stall the island imposed on a needed segment.
+    max_stall_ms: float = 0.0
 
     @property
     def off_fraction(self) -> float:
@@ -93,6 +95,10 @@ class RuntimeReport:
     stalled_flows: int
     violations: Tuple[RoutabilityViolation, ...]
     per_island: Mapping[int, IslandRuntime]
+    #: Worst-case wake stall each active flow ever saw (ms); the wake
+    #: latency the QoS objective checks against per-flow deadlines.
+    #: Populated by the routability pass (empty when it is skipped).
+    flow_stall_ms: Mapping[FlowKey, float] = field(default_factory=dict)
 
     @property
     def total_mj(self) -> float:
@@ -122,6 +128,11 @@ class RuntimeReport:
     def routable(self) -> bool:
         """True when no active flow ever crossed a gated island."""
         return not self.violations
+
+    @property
+    def worst_flow_stall_ms(self) -> float:
+        """Largest per-flow wake stall over the whole trace."""
+        return max(self.flow_stall_ms.values(), default=0.0)
 
     def savings_vs(self, other: "RuntimeReport") -> float:
         """Fractional energy saved relative to another report."""

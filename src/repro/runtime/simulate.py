@@ -236,8 +236,10 @@ def simulate_trace(
     total_ms = ctx.total_ms
 
     # --- drive one state machine per gateable island -------------------
+    policy.reset()
     machines: Dict[int, IslandStateMachine] = {}
     stalled_ms = 0.0
+    island_stall_ms: Dict[int, float] = {}
     for island, econ in economics.items():
         machine = IslandStateMachine(island, econ.wakeup_latency_ms)
         ready = 0.0
@@ -246,7 +248,11 @@ def simulate_trace(
                 if machine.state is IslandState.OFF:
                     ready = machine.request_wake(start)
                 if ready > start:
-                    stalled_ms += min(ready, end) - start
+                    stall = min(ready, end) - start
+                    stalled_ms += stall
+                    island_stall_ms[island] = max(
+                        island_stall_ms.get(island, 0.0), stall
+                    )
             elif island not in pinned:
                 # A wake still ramping cannot be interrupted, so the
                 # interval handed to the policy starts when gating
@@ -293,25 +299,31 @@ def simulate_trace(
             wake_events=machine.wake_events,
             break_even_ms=econ.break_even_ms,
             saved_mw=econ.saved_mw,
+            max_stall_ms=island_stall_ms.get(island, 0.0),
         )
     always_on_uj = ctx.always_on_mw * total_ms
 
-    # --- dynamic routability check ------------------------------------
+    # --- dynamic routability and per-flow wake-stall check ------------
     violations: List[RoutabilityViolation] = []
+    flow_stall_ms: Dict[FlowKey, float] = {}
     stalled_flows = 0
     if check_routability:
         for idx, (start, end, seg) in enumerate(boundaries):
             prof = profiles[seg.use_case]
             for key, touched in prof.flow_islands:
-                stalled = False
+                seg_stall = 0.0
                 for island in touched:
                     machine = machines[island]
                     if island in prof.needed_islands:
                         # Source/destination island still ramping: the
                         # flow waits out the wake — a latency penalty,
-                        # not a safety violation.
-                        if machine.waking_overlap_ms(start, end) > 1e-12:
-                            stalled = True
+                        # not a safety violation.  The waking overlap
+                        # *is* the wait (wakes are requested at segment
+                        # start), and the flow's wait is the slowest of
+                        # its islands' concurrent ramps.
+                        seg_stall = max(
+                            seg_stall, machine.waking_overlap_ms(start, end)
+                        )
                         continue
                     if (
                         machine.off_overlap_ms(start, end) > 1e-12
@@ -325,8 +337,9 @@ def simulate_trace(
                                 island=island,
                             )
                         )
-                if stalled:
+                if seg_stall > 1e-12:
                     stalled_flows += 1
+                flow_stall_ms[key] = max(flow_stall_ms.get(key, 0.0), seg_stall)
 
     return RuntimeReport(
         trace_name=trace.name,
@@ -345,6 +358,7 @@ def simulate_trace(
         stalled_flows=stalled_flows,
         violations=tuple(violations),
         per_island=per_island,
+        flow_stall_ms=flow_stall_ms,
     )
 
 

@@ -14,10 +14,21 @@ class TestParser:
         args = build_parser().parse_args(["synth", "d26_media"])
         assert args.islands == 4
         assert args.strategy == "logical"
+        assert args.objective == "static_power"
 
     def test_bad_strategy_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["synth", "d26_media", "--strategy", "vibes"])
+
+    def test_bad_objective_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["synth", "d26_media", "--objective", "vibes"]
+            )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "d26_media", "--objective", "vibes"]
+            )
 
 
 class TestCommands:
@@ -47,7 +58,7 @@ class TestCommands:
         )
         assert code == 0
         out = capsys.readouterr().out
-        assert "best by power" in out
+        assert "best by static_power" in out
         for path in (dot, svg, js):
             with open(path) as f:
                 assert f.read()
@@ -65,6 +76,63 @@ class TestCommands:
         with open(csv) as f:
             header = f.readline()
         assert "noc_power_mw" in header
+
+    def test_synth_objective_latency(self, capsys):
+        code = main(
+            [
+                "synth",
+                "d12_auto",
+                "--islands",
+                "3",
+                "--objective",
+                "static_latency",
+            ]
+        )
+        assert code == 0
+        assert "best by static_latency" in capsys.readouterr().out
+
+    @pytest.mark.runtime
+    def test_synth_objective_trace_energy(self, capsys):
+        code = main(
+            [
+                "synth",
+                "d12_auto",
+                "--islands",
+                "3",
+                "--objective",
+                "trace_energy",
+                "--trace-segments",
+                "12",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best by trace_energy" in out
+
+    @pytest.mark.runtime
+    def test_sweep_objective_trace_energy(self, capsys, tmp_path):
+        csv = str(tmp_path / "sweep.csv")
+        code = main(
+            [
+                "sweep",
+                "d12_auto",
+                "--counts",
+                "2,3",
+                "--objective",
+                "trace_energy",
+                "--trace-segments",
+                "12",
+                "--csv",
+                csv,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "objective trace_energy" in out
+        with open(csv) as f:
+            header = f.readline()
+        # The objective contributes its sweep column.
+        assert "trace_mj" in header
 
     def test_shutdown(self, capsys):
         code = main(["shutdown", "d12_auto", "--islands", "3"])

@@ -58,6 +58,17 @@ class TestEngine:
         with pytest.raises(SpecError):
             ExplorationEngine(workers=0)
 
+    def test_rejects_select_and_objective_together(self):
+        from repro import StaticLatencyObjective
+
+        def my_selector(space):
+            return space.points[0]
+
+        with pytest.raises(SpecError, match="not both"):
+            ExplorationEngine(
+                select=my_selector, objective=StaticLatencyObjective()
+            )
+
     def test_parallel_matches_serial(self, tiny_spec):
         alphas = [0.2, 0.8]
         serial = alpha_exploration(tiny_spec, alphas, workers=1)
@@ -75,6 +86,27 @@ class TestEngine:
             {"islands": 1, "strategy": "logical"},
             {"islands": 2, "strategy": "logical"},
         ]
+
+    @pytest.mark.runtime
+    def test_objective_sweep_parallel_matches_serial(self, tiny_spec):
+        """Objectives are picklable: pool and serial sweeps agree, and
+        the objective's trace_mj column survives the round-trip."""
+        from repro import SynthesisConfig, TraceEnergyObjective, make_use_case
+        from repro.runtime import scripted_trace
+
+        cases = [
+            make_use_case("full", [c.name for c in tiny_spec.cores], 0.4),
+            make_use_case("compute", ["cpu", "mem", "acc"], 0.6),
+        ]
+        trace = scripted_trace(cases, [("compute", 100.0), ("full", 50.0)])
+        objective = TraceEnergyObjective(trace=trace)
+        config = SynthesisConfig(max_intermediate=1)
+        serial = ExplorationEngine(workers=1, config=config, objective=objective)
+        pooled = ExplorationEngine(workers=2, config=config, objective=objective)
+        s = serial.alpha_exploration(tiny_spec, [0.2, 0.8])
+        p = pooled.alpha_exploration(tiny_spec, [0.2, 0.8])
+        assert [strip_timing(r) for r in s] == [strip_timing(r) for r in p]
+        assert all("trace_mj" in r.row() for r in s)
 
     def test_engine_methods_match_wrappers(self, tiny_spec):
         engine = ExplorationEngine(config=SynthesisConfig(max_intermediate=1))
@@ -138,6 +170,81 @@ class TestGridExploration:
     def test_pareto_merge_ignores_infeasible(self):
         rec = SweepRecord(knobs={}, point=None, design_points=0, elapsed_s=0.0)
         assert pareto_merge([rec]) == []
+
+
+class _StubPoint:
+    """Just enough DesignPoint surface for selection/merge logic."""
+
+    def __init__(self, index, power, latency, topology=None):
+        self.index = index
+        self.power_mw = power
+        self.avg_latency_cycles = latency
+        self.topology = topology
+
+
+def _stub_record(index, power, latency):
+    return SweepRecord(
+        knobs={"i": index},
+        point=_StubPoint(index, power, latency),
+        design_points=1,
+        elapsed_s=0.0,
+    )
+
+
+class TestTieBreaking:
+    """Equal-cost points must resolve deterministically (ISSUE-4)."""
+
+    def test_pareto_merge_keeps_equal_cost_points(self):
+        """Neither of two identical-cost records dominates the other, so
+        both survive, ordered by original sweep position."""
+        records = [_stub_record(0, 5.0, 3.0), _stub_record(1, 5.0, 3.0)]
+        merged = pareto_merge(records)
+        assert [r.point.index for r in merged] == [0, 1]
+
+    def test_pareto_merge_sorted_key_order(self):
+        """Output order is (power, latency, sweep position) — stable
+        whatever order the records arrive in."""
+        records = [
+            _stub_record(0, 7.0, 1.0),
+            _stub_record(1, 5.0, 3.0),
+            _stub_record(2, 5.0, 3.0),  # duplicate cost of record 1
+            _stub_record(3, 6.0, 2.0),
+        ]
+        merged = pareto_merge(records)
+        assert [r.point.index for r in merged] == [1, 2, 3, 0]
+        shuffled = [records[2], records[0], records[3], records[1]]
+        remerged = pareto_merge(shuffled)
+        # Same survivors; equal-cost order follows input position.
+        assert [r.point.index for r in remerged] == [2, 1, 3, 0]
+
+    def test_runtime_selector_tie_breaks_by_power_then_index(self, monkeypatch):
+        """With trace energy forced equal, selection falls back to the
+        sorted (static power, index) key — never dict/arrival order."""
+        import types
+
+        from repro.core import objective as objective_mod
+        from repro.core.design_point import DesignSpace
+        from repro.core.explore import RuntimeEnergySelector
+
+        monkeypatch.setattr(
+            objective_mod,
+            "simulate_trace",
+            lambda *a, **k: types.SimpleNamespace(
+                total_mj=42.0, average_power_mw=1.0
+            ),
+        )
+        selector = RuntimeEnergySelector(trace=object())  # simulator stubbed
+        points = [
+            _StubPoint(0, 9.0, 1.0),
+            _StubPoint(1, 5.0, 1.0),  # lowest power wins the energy tie
+            _StubPoint(2, 5.0, 1.0),  # equal power: lower index wins
+        ]
+        space = DesignSpace(spec_name="stub", points=points)
+        assert selector(space).index == 1
+        reordered = DesignSpace(
+            spec_name="stub", points=[points[2], points[0], points[1]]
+        )
+        assert selector(reordered).index == 1
 
 
 @pytest.mark.runtime

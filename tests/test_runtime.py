@@ -223,6 +223,101 @@ class TestPolicies:
     def test_default_policies_order(self):
         assert tuple(p.name for p in default_policies()) == POLICY_NAMES
 
+    def test_economics_pays_off_matches_break_even(self):
+        econ = _econ()
+        be = econ.break_even_ms
+        assert econ.gating_pays_off(be * 2)
+        assert not econ.gating_pays_off(be * 0.5)
+        assert econ.gate_net_gain_uj(be * 2) > 0
+        assert econ.gate_net_gain_uj(be * 0.5) < 0
+        # At exactly break-even the net gain is zero and gating is moot.
+        assert econ.gate_net_gain_uj(be) == pytest.approx(0.0)
+
+
+class TestEwmaPredictor:
+    """The causal history-based policy (ISSUE-4 satellite)."""
+
+    def test_first_interval_never_gates(self):
+        econ = _econ()
+        policy = make_policy("ewma_predictor")
+        assert policy.gate_time(0.0, 1000.0, econ) is None
+
+    def test_learns_from_long_idle_history(self):
+        econ = _econ()
+        be = econ.break_even_ms
+        policy = make_policy("ewma_predictor")
+        policy.gate_time(0.0, be * 10, econ)  # history: one long idle
+        assert policy.gate_time(20.0, 20.0 + be * 10, econ) == 20.0
+
+    def test_short_idle_history_suppresses_gating(self):
+        econ = _econ()
+        be = econ.break_even_ms
+        policy = make_policy("ewma_predictor")
+        policy.gate_time(0.0, be * 0.1, econ)
+        assert policy.gate_time(1.0, 1.0 + be * 10, econ) is None
+
+    def test_decision_is_causal(self):
+        """The decision for interval i ignores interval i's own length:
+        identical histories yield identical decisions whatever comes."""
+        econ = _econ()
+        be = econ.break_even_ms
+        a = make_policy("ewma_predictor")
+        b = make_policy("ewma_predictor")
+        a.gate_time(0.0, be * 10, econ)
+        b.gate_time(0.0, be * 10, econ)
+        assert a.gate_time(20.0, 20.0 + be * 100, econ) == b.gate_time(
+            20.0, 20.0 + be * 0.01, econ
+        )
+
+    def test_state_is_per_island(self):
+        econ0 = _econ()
+        econ1 = IslandEconomics(
+            island=1,
+            on_static_mw=10.0,
+            off_static_mw=1.0,
+            event_energy_nj=18.0,
+            wakeup_latency_ms=0.01,
+        )
+        be = econ0.break_even_ms
+        policy = make_policy("ewma_predictor")
+        policy.gate_time(0.0, be * 10, econ0)  # island 0 history only
+        assert policy.gate_time(20.0, 20.0 + be * 10, econ1) is None
+
+    def test_reset_clears_history(self):
+        econ = _econ()
+        be = econ.break_even_ms
+        policy = make_policy("ewma_predictor")
+        policy.gate_time(0.0, be * 10, econ)
+        policy.reset()
+        assert policy.gate_time(20.0, 20.0 + be * 10, econ) is None
+
+    def test_ewma_smoothing(self):
+        econ = _econ()
+        policy = make_policy("ewma_predictor", alpha=0.5)
+        policy.gate_time(0.0, 8.0, econ)  # ewma = 8
+        policy.gate_time(10.0, 14.0, econ)  # ewma = 0.5*4 + 0.5*8 = 6
+        assert policy._ewma[econ.island] == pytest.approx(6.0)
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(SpecError):
+            make_policy("ewma_predictor", alpha=0.0)
+        with pytest.raises(SpecError):
+            make_policy("ewma_predictor", alpha=1.5)
+
+    def test_oracle_dominates_ewma_on_trace(self, tiny_topology, tiny_trace):
+        reports = compare_policies(tiny_topology, tiny_trace)
+        assert (
+            reports["break_even"].total_mj
+            <= reports["ewma_predictor"].total_mj + 1e-9
+        )
+
+    def test_simulation_resets_between_replays(self, tiny_topology, tiny_trace):
+        """One policy instance replayed twice gives identical energy."""
+        policy = make_policy("ewma_predictor")
+        first = simulate_trace(tiny_topology, tiny_trace, policy)
+        second = simulate_trace(tiny_topology, tiny_trace, policy)
+        assert first.total_mj == pytest.approx(second.total_mj)
+
 
 # ----------------------------------------------------------------------
 # Simulation
