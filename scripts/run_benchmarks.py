@@ -28,6 +28,10 @@ The runtime-shutdown section also records the causal EWMA policy's gap
 to the break-even oracle and the trace-driven co-synthesis comparison
 (static-power vs ``TraceEnergyObjective`` selection on d26 @ 4
 islands, where the two are known to diverge — see docs/objectives.md).
+The resilience section records the coverage-vs-overhead point of
+k-spare protection on d26 under single-link faults (100% coverage at
+the measured power overhead — see docs/resilience.md), with a
+byte-identical-reruns determinism check folded into the exit code.
 
 Usage::
 
@@ -58,6 +62,8 @@ import dataclasses  # noqa: E402
 from repro import SynthesisConfig, mobile_soc_26, synthesize  # noqa: E402
 from repro.core.explore import ExplorationEngine  # noqa: E402
 from repro.core.objective import TraceEnergyObjective  # noqa: E402
+from repro.io.json_io import spare_plan_summary  # noqa: E402
+from repro.resilience import analyze_model, protect_design_point  # noqa: E402
 from repro.perf import PerfRecorder, recording  # noqa: E402
 from repro.runtime import compare_policies, make_policy, markov_trace, simulate_trace  # noqa: E402
 from repro.soc.generator import GeneratorConfig, generate_soc  # noqa: E402
@@ -302,6 +308,70 @@ def run_cosynthesis(
     return out
 
 
+def run_resilience(islands: int = 6, k: int = 1) -> Dict[str, object]:
+    """Coverage-vs-overhead of k-spare protection on d26 (bench_resilience.py).
+
+    Protects the best-power d26 point with k disjoint backup routes
+    per flow and records single-link-failure coverage against the
+    unprotected baseline, plus the measured power/wire/link overhead.
+    The protection is run twice and compared byte-for-byte — the
+    ``deterministic`` flag participates in the harness exit code.
+    """
+    from repro.soc.partitioning import logical_partitioning
+
+    spec = logical_partitioning(mobile_soc_26(), islands)
+    spec = spec.with_vi_assignment(spec.vi_assignment, name="d26_media")
+    t0 = time.perf_counter()
+    best = synthesize(spec, config=FAST).best_by_power()
+    base_report = analyze_model(best.topology, "single_link")
+    prot = protect_design_point(best, k=k)
+    prot_report = analyze_model(prot.topology, "single_link", plan=prot.plan)
+    again = protect_design_point(best, k=k)
+    deterministic = json.dumps(
+        spare_plan_summary(prot.plan), sort_keys=True
+    ) == json.dumps(spare_plan_summary(again.plan), sort_keys=True)
+    dt = time.perf_counter() - t0
+    overhead_mw = prot.power_overhead_mw
+    out = {
+        "islands": islands,
+        "fault_model": "single_link",
+        "k": k,
+        # The two analyses enumerate their own topology's links, so
+        # the coverage denominators differ: spare links add scenarios.
+        "unprotected_scenarios": base_report.num_scenarios,
+        "protected_scenarios": prot_report.num_scenarios,
+        "unprotected_coverage": round(base_report.coverage, 6),
+        "unprotected_uncovered_flows": len(base_report.uncovered_flows),
+        "protected_coverage": round(prot_report.coverage, 6),
+        "protected_uncovered_flows": len(prot_report.uncovered_flows),
+        "spare_links": prot.plan.links_opened,
+        "reserved_mbps": round(prot.plan.total_reserved_mbps, 1),
+        "base_power_mw": round(best.power_mw, 4),
+        "protected_power_mw": round(prot.noc_power.fig2_dynamic_mw, 4),
+        "power_overhead_mw": round(overhead_mw, 4),
+        "power_overhead_fraction": round(overhead_mw / best.power_mw, 6)
+        if best.power_mw > 0
+        else None,
+        "wire_overhead_mm": round(prot.wire_overhead_mm, 2),
+        "deterministic": deterministic,
+        "seconds": round(dt, 4),
+    }
+    print(
+        "  unprotected %.1f%% -> k=%d protected %.1f%% coverage "
+        "(%d spare links, +%.2f mW = %.1f%%, deterministic=%s)"
+        % (
+            100.0 * out["unprotected_coverage"],
+            k,
+            100.0 * out["protected_coverage"],
+            out["spare_links"],
+            out["power_overhead_mw"],
+            100.0 * (out["power_overhead_fraction"] or 0.0),
+            deterministic,
+        )
+    )
+    return out
+
+
 def archive_snapshot(result: Dict[str, object], history_dir: str) -> str:
     """Append this run to the history directory (one JSON per run)."""
     os.makedirs(history_dir, exist_ok=True)
@@ -494,6 +564,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     runtime_shutdown = run_runtime_shutdown(
         n_segments=32 if args.quick else 96
     )
+    print("resilience (d26, single-link faults, k=1 spares):")
+    resilience = run_resilience()
 
     result: Dict[str, object] = {
         "meta": {
@@ -508,6 +580,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cache_ablation": ablation,
         "worker_scaling": worker_rows,
         "runtime_shutdown": runtime_shutdown,
+        "resilience": resilience,
     }
     if args.baseline_seconds is not None:
         result["baseline"] = {
@@ -536,7 +609,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 prune_history(args.history_dir, args.keep)
         else:
             print("not archiving: regression gate failed")
-    return 0 if (ablation["identical_points"] and gate_ok) else 1
+    return 0 if (
+        ablation["identical_points"] and gate_ok and resilience["deterministic"]
+    ) else 1
 
 
 if __name__ == "__main__":

@@ -32,12 +32,15 @@ from .core.explore import (
 from .core.objective import (
     OBJECTIVE_NAMES,
     CompositeObjective,
+    MultiTraceObjective,
     Objective,
     ObjectiveResult,
+    StaticAreaObjective,
     StaticLatencyObjective,
     StaticPowerObjective,
     TraceEnergyObjective,
     WakeLatencyQoSObjective,
+    WireLengthObjective,
     make_objective,
 )
 from .core.frequency import IslandPlan, plan_all_islands
@@ -75,6 +78,22 @@ from .runtime import (
     scripted_trace,
     simulate_trace,
 )
+from .resilience import (
+    FAULT_MODEL_NAMES,
+    CoverageReport,
+    FaultEvent,
+    FaultScenario,
+    ProtectionResult,
+    ResilienceObjective,
+    SparePathConfig,
+    SparePlan,
+    allocate_spare_paths,
+    analyze_coverage,
+    analyze_model,
+    degraded_routes,
+    enumerate_scenarios,
+    protect_design_point,
+)
 from .sim.scenarios import UseCase, make_use_case, validate_scenario_set
 from .sim.zero_load import LatencyReport, evaluate_latency
 from .soc.benchmarks import benchmark_suite, mobile_soc_26
@@ -85,7 +104,24 @@ __version__ = "1.0.0"
 __all__ = [
     "AllocationResult",
     "CoreSpec",
+    "CoverageReport",
     "DEFAULT_LIBRARY",
+    "FAULT_MODEL_NAMES",
+    "FaultEvent",
+    "FaultScenario",
+    "MultiTraceObjective",
+    "ProtectionResult",
+    "ResilienceObjective",
+    "SparePathConfig",
+    "SparePlan",
+    "StaticAreaObjective",
+    "WireLengthObjective",
+    "allocate_spare_paths",
+    "analyze_coverage",
+    "analyze_model",
+    "degraded_routes",
+    "enumerate_scenarios",
+    "protect_design_point",
     "DesignPoint",
     "DesignSpace",
     "Floorplan",

@@ -15,10 +15,10 @@ flow needs from the stored routes:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..exceptions import ValidationError
-from .topology import FlowKey, Topology
+from .topology import FlowKey, Route, Topology
 
 
 def route_table(topology: Topology, switch_id: str) -> Dict[FlowKey, str]:
@@ -39,22 +39,34 @@ def route_table(topology: Topology, switch_id: str) -> Dict[FlowKey, str]:
     return table
 
 
-def channel_dependency_graph(topology: Topology) -> Dict[int, Set[int]]:
-    """CDG over link ids: ``l1 -> l2`` when a route uses l1 then l2."""
+def channel_dependency_graph(
+    topology: Topology, routes: Optional[Mapping[FlowKey, Route]] = None
+) -> Dict[int, Set[int]]:
+    """CDG over link ids: ``l1 -> l2`` when a route uses l1 then l2.
+
+    ``routes`` substitutes an alternative route set over the same link
+    inventory — the resilience analysis passes the *degraded* routing
+    of a failure scenario (primaries for unaffected flows, activated
+    backups for rerouted ones) to prove post-failure deadlock freedom.
+    Defaults to the topology's own routes.
+    """
+    route_map = topology.routes if routes is None else routes
     cdg: Dict[int, Set[int]] = {lid: set() for lid in topology.links}
-    for route in topology.routes.values():
+    for route in route_map.values():
         for a, b in zip(route.links, route.links[1:]):
             cdg[a].add(b)
     return cdg
 
 
-def find_cdg_cycle(topology: Topology) -> Optional[List[int]]:
+def find_cdg_cycle(
+    topology: Topology, routes: Optional[Mapping[FlowKey, Route]] = None
+) -> Optional[List[int]]:
     """Return one cycle of the CDG as a link-id list, or None.
 
     Iterative three-color DFS (graphs can be big enough that recursion
     depth matters).
     """
-    cdg = channel_dependency_graph(topology)
+    cdg = channel_dependency_graph(topology, routes)
     WHITE, GRAY, BLACK = 0, 1, 2
     color: Dict[int, int] = {lid: WHITE for lid in cdg}
     parent: Dict[int, int] = {}
@@ -86,9 +98,15 @@ def find_cdg_cycle(topology: Topology) -> Optional[List[int]]:
     return None
 
 
-def is_deadlock_free(topology: Topology) -> bool:
-    """True when the channel dependency graph is acyclic."""
-    return find_cdg_cycle(topology) is None
+def is_deadlock_free(
+    topology: Topology, routes: Optional[Mapping[FlowKey, Route]] = None
+) -> bool:
+    """True when the channel dependency graph is acyclic.
+
+    Pass ``routes`` to check an alternative routing (e.g. a
+    post-failure degraded route set) over the same links.
+    """
+    return find_cdg_cycle(topology, routes) is None
 
 
 def flows_through_switch(topology: Topology, switch_id: str) -> List[FlowKey]:

@@ -24,6 +24,11 @@ Subcommands
     machines under all standard gating policies and report energy over
     time, wake events, stalls and routability violations (see
     docs/runtime.md).
+``resilience``
+    Fault coverage of the k-spare-protected design vs the unprotected
+    baseline under a chosen fault model (single/double link, switch,
+    island), with the measured power overhead of protection (see
+    docs/resilience.md).
 
 Examples::
 
@@ -32,6 +37,7 @@ Examples::
     repro-noc sweep d26_media --counts 1,2,3,4,5,6,7,26 --csv fig2.csv
     repro-noc shutdown d26_media --islands 6
     repro-noc runtime --benchmark d26_media --policy break_even
+    repro-noc resilience d26_media --islands 6 --spare-k 1 --per-scenario
 """
 
 from __future__ import annotations
@@ -55,6 +61,12 @@ from .io.floorplan_art import floorplan_to_ascii, save_floorplan_svg
 from .io.json_io import design_point_summary, save_topology
 from .io.report import format_table, percent, save_csv
 from .power.leakage import statically_pinned_islands, weighted_savings_fraction
+from .resilience import (
+    FAULT_MODEL_NAMES,
+    SparePathConfig,
+    analyze_model,
+    protect_design_point,
+)
 from .runtime import (
     POLICY_NAMES,
     certified_policy_comparison,
@@ -81,10 +93,11 @@ def _partitioned(name: str, islands: int, strategy: str):
 
 
 def _objective_for(args: argparse.Namespace, spec):
-    """Build the requested objective; trace-driven ones get a seeded
-    Markov trace over the benchmark's curated use-case set."""
+    """Build the requested objective; trace-driven ones get seeded
+    Markov traces over the benchmark's curated use-case set."""
     name = getattr(args, "objective", "static_power")
     trace = None
+    traces = None
     if name in ("trace_energy", "wake_qos"):
         trace = markov_trace(
             use_cases_for(spec),
@@ -92,11 +105,30 @@ def _objective_for(args: argparse.Namespace, spec):
             seed=args.seed,
             mean_dwell_ms=args.trace_dwell_ms,
         )
+    elif name == "multi_trace":
+        seeds_arg = getattr(args, "trace_seeds", None)
+        if seeds_arg:
+            seeds = [int(s) for s in seeds_arg.split(",") if s.strip()]
+        else:
+            seeds = [args.seed, args.seed + 1, args.seed + 2]
+        traces = [
+            markov_trace(
+                use_cases_for(spec),
+                n_segments=args.trace_segments,
+                seed=s,
+                mean_dwell_ms=args.trace_dwell_ms,
+            )
+            for s in seeds
+        ]
     return make_objective(
         name,
         trace=trace,
+        traces=traces,
         policy=getattr(args, "objective_policy", "break_even"),
         budget_ms=getattr(args, "qos_budget_ms", DEFAULT_WAKE_BUDGET_MS),
+        fault_model=getattr(args, "fault_model", "single_link"),
+        spare_k=getattr(args, "spare_k", 1),
+        min_coverage=getattr(args, "min_coverage", 1.0),
     )
 
 
@@ -132,6 +164,33 @@ def _add_objective_args(p: argparse.ArgumentParser) -> None:
         type=float,
         default=DEFAULT_WAKE_BUDGET_MS,
         help="per-flow wake-latency budget for the wake_qos objective",
+    )
+    p.add_argument(
+        "--trace-seeds",
+        help="comma-separated Markov seeds for the multi_trace objective "
+        "(default: seed, seed+1, seed+2)",
+    )
+    _add_fault_args(p)
+
+
+def _add_fault_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--fault-model",
+        choices=FAULT_MODEL_NAMES,
+        default="single_link",
+        help="failure scenarios to protect against / analyze",
+    )
+    p.add_argument(
+        "--spare-k",
+        type=int,
+        default=1,
+        help="disjoint backup routes per flow",
+    )
+    p.add_argument(
+        "--min-coverage",
+        type=float,
+        default=1.0,
+        help="coverage target (resilience objective veto / exit code)",
     )
 
 
@@ -322,6 +381,65 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
     return 0 if focus.routable else 1
 
 
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    spec = _partitioned(args.benchmark, args.islands, args.strategy)
+    space = synthesize(spec, config=SynthesisConfig(seed=args.seed))
+    best = space.best_by_power()
+    scenarios_kind = args.fault_model
+    base_report = analyze_model(best.topology, scenarios_kind)
+    prot = protect_design_point(
+        best,
+        k=args.spare_k,
+        config=SparePathConfig(node_disjoint=args.node_disjoint),
+    )
+    prot_report = analyze_model(prot.topology, scenarios_kind, plan=prot.plan)
+    overhead_mw = prot.power_overhead_mw
+    rows = [
+        {
+            "design": "unprotected",
+            "scenarios": base_report.num_scenarios,
+            "coverage": percent(base_report.coverage),
+            "worst_scenario": percent(base_report.worst_scenario_coverage),
+            "uncovered_flows": len(base_report.uncovered_flows),
+            "spare_links": 0,
+            "power_mw": round(best.power_mw, 2),
+            "overhead": "-",
+        },
+        {
+            "design": "k=%d protected" % args.spare_k,
+            "scenarios": prot_report.num_scenarios,
+            "coverage": percent(prot_report.coverage),
+            "worst_scenario": percent(prot_report.worst_scenario_coverage),
+            "uncovered_flows": len(prot_report.uncovered_flows),
+            "spare_links": prot.plan.links_opened,
+            "power_mw": round(prot.noc_power.fig2_dynamic_mw, 2),
+            "overhead": percent(overhead_mw / best.power_mw)
+            if best.power_mw > 0
+            else "-",
+        },
+    ]
+    print(
+        format_table(
+            rows,
+            title="%s, %d islands: %s fault coverage (point %s)"
+            % (args.benchmark, args.islands, args.fault_model, best.label()),
+        )
+    )
+    if args.per_scenario:
+        print(
+            format_table(
+                prot_report.rows(), title="protected per-scenario coverage"
+            )
+        )
+    if prot.plan.unprotected:
+        for key in prot.plan.unprotected:
+            print("UNPROTECTED: flow %s->%s" % key)
+    if args.csv:
+        save_csv(prot_report.rows(), args.csv)
+        print("wrote %s" % args.csv)
+    return 0 if prot_report.coverage >= args.min_coverage - 1e-12 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-noc`` argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -417,6 +535,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_rt.add_argument("--csv", help="also write the policy table as CSV")
     p_rt.set_defaults(func=_cmd_runtime)
+
+    p_res = sub.add_parser(
+        "resilience",
+        help="fault coverage of the protected vs unprotected design",
+    )
+    common(p_res)
+    _add_fault_args(p_res)
+    p_res.add_argument(
+        "--node-disjoint",
+        action="store_true",
+        help="backups avoid the primary's transit switches too",
+    )
+    p_res.add_argument(
+        "--per-scenario",
+        action="store_true",
+        help="print the per-scenario coverage table",
+    )
+    p_res.add_argument("--csv", help="write per-scenario coverage rows as CSV")
+    p_res.set_defaults(func=_cmd_resilience)
 
     return parser
 

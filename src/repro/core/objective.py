@@ -40,6 +40,10 @@ Built-ins
     ``best_by_power`` path.
 :class:`StaticLatencyObjective`
     The Figure-3 metric, with power as tie-break (``best_by_latency``).
+:class:`StaticAreaObjective` / :class:`WireLengthObjective`
+    Floorplan-quality objectives over ``soc_power.noc_area_mm2`` and
+    ``wires.total_length_mm``; the resilience subsystem reuses their
+    metrics to cost spare-path overhead.
 :class:`TraceEnergyObjective`
     Replays a use-case trace through the runtime shutdown simulator
     (:func:`repro.runtime.simulate.simulate_trace`) and scores total
@@ -53,9 +57,18 @@ Built-ins
     whose worst-case flow stall exceeds its budget is rejected as
     infeasible — energy alone never overrides a deadline.  Scoring of
     surviving points delegates to a base objective.
+:class:`MultiTraceObjective`
+    Worst-case (or mean) trace energy over a *set* of traces, so
+    co-synthesis stops overfitting a single Markov walk.
 :class:`CompositeObjective`
     Weighted sum over the primary cost components of several
     objectives; feasibility is the conjunction.
+
+:class:`repro.resilience.coverage.ResilienceObjective` joins the
+registry from the resilience package: it vetoes points whose
+k-protected fault coverage misses a target and costs the spare-path
+overhead lexicographically after a base objective (see
+``docs/resilience.md``).
 """
 
 from __future__ import annotations
@@ -77,8 +90,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 OBJECTIVE_NAMES: Tuple[str, ...] = (
     "static_power",
     "static_latency",
+    "static_area",
+    "wire_length",
     "trace_energy",
+    "multi_trace",
     "wake_qos",
+    "resilience",
 )
 
 #: Default per-flow wake-latency budget (ms) when none is specified.
@@ -122,6 +139,23 @@ class Objective:
     def key(self, point: "DesignPoint") -> Tuple[float, ...]:
         """Deterministic comparison key: cost vector plus point index."""
         return self.evaluate(point).cost + (float(point.index),)
+
+    def partial_cost(self, point: "DesignPoint") -> Optional[Tuple[float, ...]]:
+        """A cheap *exact prefix* of :meth:`evaluate`'s cost vector.
+
+        The objective-aware sweep pruning hook
+        (``SynthesisConfig(prune_sweep=True)``): when the returned
+        prefix already compares strictly greater than the incumbent's
+        cost over its length, the candidate can never win selection
+        and the expensive remainder of the evaluation (trace replay,
+        spare-path protection) is skipped.  Contract: the returned
+        tuple must equal ``evaluate(point).cost[:len(prefix)]`` for
+        every feasible point — a *bound* is not enough, only an exact
+        prefix preserves lexicographic comparability.  Return ``None``
+        (the default) when no cheap prefix exists; such objectives are
+        never pruned.
+        """
+        return None
 
     def select(self, space: "DesignSpace") -> "DesignPoint":
         """The best feasible point of a design space under this objective.
@@ -184,6 +218,9 @@ class StaticPowerObjective(Objective):
     def evaluate(self, point: "DesignPoint") -> ObjectiveResult:
         return ObjectiveResult(cost=(point.power_mw, point.avg_latency_cycles))
 
+    def partial_cost(self, point: "DesignPoint") -> Tuple[float, ...]:
+        return (point.power_mw, point.avg_latency_cycles)
+
 
 @dataclass(frozen=True)
 class StaticLatencyObjective(Objective):
@@ -193,6 +230,82 @@ class StaticLatencyObjective(Objective):
 
     def evaluate(self, point: "DesignPoint") -> ObjectiveResult:
         return ObjectiveResult(cost=(point.avg_latency_cycles, point.power_mw))
+
+    def partial_cost(self, point: "DesignPoint") -> Tuple[float, ...]:
+        return (point.avg_latency_cycles, point.power_mw)
+
+
+@dataclass(frozen=True)
+class StaticAreaObjective(Objective):
+    """NoC silicon area, power then latency tie-breaks.
+
+    The floorplan-quality objective the ROADMAP asked for: selection
+    minimizes ``soc_power.noc_area_mm2`` (crossbars, NIs, converters),
+    so area-frugal topologies win even when a bigger crossbar would
+    shave a few mW.  The resilience objective reuses the same metric to
+    cost spare-port area overhead.
+    """
+
+    name = "static_area"
+
+    def evaluate(self, point: "DesignPoint") -> ObjectiveResult:
+        return ObjectiveResult(
+            cost=(
+                point.soc_power.noc_area_mm2,
+                point.power_mw,
+                point.avg_latency_cycles,
+            ),
+            metrics={"noc_area_mm2": point.soc_power.noc_area_mm2},
+        )
+
+    def partial_cost(self, point: "DesignPoint") -> Tuple[float, ...]:
+        return (
+            point.soc_power.noc_area_mm2,
+            point.power_mw,
+            point.avg_latency_cycles,
+        )
+
+    def column_names(self) -> Tuple[str, ...]:
+        return ("noc_area_mm2",)
+
+    def columns(self, point: "DesignPoint") -> Dict[str, object]:
+        return {"noc_area_mm2": round(point.soc_power.noc_area_mm2, 4)}
+
+
+@dataclass(frozen=True)
+class WireLengthObjective(Objective):
+    """Total placed wire length, power then latency tie-breaks.
+
+    Minimizes ``wires.total_length_mm`` over the placed design — the
+    routability/congestion proxy.  Like :class:`StaticAreaObjective`
+    this is a pure selection objective (no veto) whose metric the
+    spare-path overhead costing reuses.
+    """
+
+    name = "wire_length"
+
+    def evaluate(self, point: "DesignPoint") -> ObjectiveResult:
+        return ObjectiveResult(
+            cost=(
+                point.wires.total_length_mm,
+                point.power_mw,
+                point.avg_latency_cycles,
+            ),
+            metrics={"wire_mm": point.wires.total_length_mm},
+        )
+
+    def partial_cost(self, point: "DesignPoint") -> Tuple[float, ...]:
+        return (
+            point.wires.total_length_mm,
+            point.power_mw,
+            point.avg_latency_cycles,
+        )
+
+    def column_names(self) -> Tuple[str, ...]:
+        return ("wire_mm",)
+
+    def columns(self, point: "DesignPoint") -> Dict[str, object]:
+        return {"wire_mm": round(point.wires.total_length_mm, 2)}
 
 
 @dataclass(frozen=True)
@@ -242,6 +355,86 @@ class TraceEnergyObjective(Objective):
 
     def describe(self) -> str:
         return "%s(%s, %s)" % (self.name, self.trace.name, self.policy)
+
+
+@dataclass(frozen=True)
+class MultiTraceObjective(Objective):
+    """Worst-case (or mean) trace energy over a *set* of traces.
+
+    Co-synthesis against a single Markov walk can overfit its
+    particular mode sequence; scoring each point over several seeded
+    traces and ranking by the worst (default) or mean energy keeps the
+    chosen topology robust to which walk the device actually takes.
+    The cost vector carries both aggregates — worst first under
+    ``aggregate="worst"``, mean first under ``"mean"`` — then static
+    power, so equal-robustness points still resolve deterministically.
+    """
+
+    name = "multi_trace"
+
+    traces: Tuple[UseCaseTrace, ...] = ()
+    policy: str = "break_even"
+    model: Optional[GatingModel] = None
+    check_routability: bool = False
+    #: "worst" ranks by max energy over the traces, "mean" by average.
+    aggregate: str = "worst"
+
+    def __post_init__(self) -> None:
+        if not self.traces:
+            raise SpecError("multi_trace objective needs at least one trace")
+        if self.aggregate not in ("worst", "mean"):
+            raise SpecError(
+                "multi_trace aggregate must be 'worst' or 'mean', got %r"
+                % self.aggregate
+            )
+        names = [t.name for t in self.traces]
+        if len(set(names)) != len(names):
+            raise SpecError("multi_trace objective: duplicate trace names")
+
+    def energies(self, point: "DesignPoint") -> Dict[str, float]:
+        """Per-trace simulated energy (mJ), keyed by trace name."""
+        policy = make_policy(self.policy)
+        return {
+            trace.name: simulate_trace(
+                point.topology,
+                trace,
+                policy,
+                model=self.model,
+                check_routability=self.check_routability,
+            ).total_mj
+            for trace in self.traces
+        }
+
+    def evaluate(self, point: "DesignPoint") -> ObjectiveResult:
+        energies = self.energies(point)
+        worst = max(energies.values())
+        mean = sum(energies.values()) / len(energies)
+        if self.aggregate == "worst":
+            cost = (worst, mean, point.power_mw)
+        else:
+            cost = (mean, worst, point.power_mw)
+        metrics = {"trace_worst_mj": worst, "trace_mean_mj": mean}
+        for name, mj in energies.items():
+            metrics["trace_mj.%s" % name] = mj
+        return ObjectiveResult(cost=cost, metrics=metrics)
+
+    def column_names(self) -> Tuple[str, ...]:
+        return ("trace_worst_mj", "trace_mean_mj")
+
+    def columns(self, point: "DesignPoint") -> Dict[str, object]:
+        metrics = self.evaluate(point).metrics
+        return {
+            "trace_worst_mj": round(metrics["trace_worst_mj"], 4),
+            "trace_mean_mj": round(metrics["trace_mean_mj"], 4),
+        }
+
+    def describe(self) -> str:
+        return "%s(%d traces, %s, %s)" % (
+            self.name,
+            len(self.traces),
+            self.policy,
+            self.aggregate,
+        )
 
 
 @dataclass(frozen=True)
@@ -497,17 +690,47 @@ def make_objective(
     model: Optional[GatingModel] = None,
     budget_ms: float = DEFAULT_WAKE_BUDGET_MS,
     budgets: Optional[Mapping[Tuple[str, str], float]] = None,
+    traces: Optional[Sequence[UseCaseTrace]] = None,
+    aggregate: str = "worst",
+    fault_model: str = "single_link",
+    spare_k: int = 1,
+    min_coverage: float = 1.0,
+    base: Optional[Objective] = None,
 ) -> Objective:
     """Instantiate an objective by canonical name (CLI plumbing).
 
     Hyphens are accepted as underscores; the trace-driven objectives
-    (``trace_energy``, ``wake_qos``) require ``trace``.
+    (``trace_energy``, ``wake_qos``) require ``trace``, ``multi_trace``
+    requires ``traces``, and ``resilience`` takes the fault-model knobs
+    (``fault_model``, ``spare_k``, ``min_coverage``) plus an optional
+    ``base`` objective to rank the surviving points.
     """
     key = name.strip().lower().replace("-", "_")
     if key == "static_power":
         return StaticPowerObjective()
     if key == "static_latency":
         return StaticLatencyObjective()
+    if key == "static_area":
+        return StaticAreaObjective()
+    if key == "wire_length":
+        return WireLengthObjective()
+    if key == "multi_trace":
+        if not traces:
+            raise SpecError("objective %r needs a set of traces" % name)
+        return MultiTraceObjective(
+            traces=tuple(traces), policy=policy, model=model, aggregate=aggregate
+        )
+    if key == "resilience":
+        # Deferred import: the resilience package sits above the core
+        # objective layer (its coverage module imports this one).
+        from ..resilience.coverage import ResilienceObjective
+
+        return ResilienceObjective(
+            fault_model=fault_model,
+            k=spare_k,
+            min_coverage=min_coverage,
+            base=base,
+        )
     if key in ("trace_energy", "wake_qos"):
         if trace is None:
             raise SpecError("objective %r needs a use-case trace" % name)

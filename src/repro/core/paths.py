@@ -61,7 +61,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from .. import units
 from ..arch.topology import (
@@ -464,6 +464,18 @@ class PathAllocator:
         self._max_sizes[INTERMEDIATE_ISLAND] = library.max_switch_size_for_freq(
             self._mid_freq
         )
+        self._init_search_state(plans)
+
+    def _init_search_state(self, islands: Iterable[int]) -> None:
+        """State shared by both constructors (memos, stores, counters).
+
+        Everything here depends only on the spec and the island id set
+        — ``__init__`` and :meth:`for_topology` derive their frequency
+        and size-bound tables differently but share all of this.
+        Keeping it in one place means a new field cannot silently go
+        missing from one construction path.
+        """
+        spec = self.spec
         # Flows in decreasing bandwidth order (deterministic tiebreak).
         self._ordered_flows = sorted(
             spec.flows,
@@ -488,7 +500,7 @@ class PathAllocator:
         self._island_ix: Dict[int, int] = {
             isl: i
             for i, isl in enumerate(
-                sorted(set(plans) | {INTERMEDIATE_ISLAND})
+                sorted(set(islands) | {INTERMEDIATE_ISLAND})
             )
         }
         self._static_by_key: Dict[int, float] = {}
@@ -531,6 +543,50 @@ class PathAllocator:
         self._scaffold_builds = 0
         self._cache_hits = 0
         self._cache_misses = 0
+
+    @classmethod
+    def for_topology(
+        cls,
+        topology: Topology,
+        cost_config: Optional[PathCostConfig] = None,
+        use_cache: bool = True,
+    ) -> "PathAllocator":
+        """An allocator view over an already-routed topology.
+
+        Spare-path (backup-route) allocation searches the *finished*
+        topology of a design point, long after the plans/partitions
+        that built it are gone.  Everything the search needs is
+        recoverable from the topology itself: island frequencies are
+        stored on it, and the per-island switch-size bound is a pure
+        function of the frequency
+        (:meth:`~repro.power.library.NocLibrary.max_switch_size_for_freq`
+        — exactly how :func:`repro.core.frequency.plan_island` derived
+        it).  The returned allocator shares the same int-indexed
+        Dijkstra, adjacency store and cost memos as the synthesis fast
+        path; it must not be used for primary allocation (it has no
+        scaffold or partitions).
+        """
+        self = cls.__new__(cls)
+        self.spec = topology.spec
+        self.library = topology.library
+        self.plans = {}
+        self.partitions = {}
+        self.cfg = cost_config or PathCostConfig()
+        self.use_cache = use_cache
+        self._base_freqs = {
+            isl: f
+            for isl, f in topology.island_freqs.items()
+            if isl != INTERMEDIATE_ISLAND
+        }
+        self._mid_freq = topology.island_freqs.get(
+            INTERMEDIATE_ISLAND, max(self._base_freqs.values(), default=0.0)
+        )
+        self._max_sizes = {
+            isl: topology.library.max_switch_size_for_freq(f)
+            for isl, f in topology.island_freqs.items()
+        }
+        self._init_search_state(topology.island_freqs)
+        return self
 
     # -- public API ----------------------------------------------------
 
@@ -581,6 +637,71 @@ class PathAllocator:
         self._flush_counters()
         assert result is not None
         return result
+
+    def route_backup(
+        self,
+        topo: Topology,
+        sw_list: List[Switch],
+        pair_links: Dict[int, List[Link]],
+        flow: TrafficFlow,
+        src_i: int,
+        dst_i: int,
+        forbidden_links: Set[int],
+        blocked_switches: Optional[Set[int]] = None,
+        reserved: Optional[Mapping[int, float]] = None,
+        allow_open: bool = True,
+        latency_only: bool = False,
+    ) -> Optional[Tuple[List[Tuple[int, int, str, Optional[Link]]], int]]:
+        """One backup-route search for ``flow`` avoiding failed-prone parts.
+
+        The k-edge-disjoint entry point (see
+        :mod:`repro.resilience.spare_paths`): the same int-indexed
+        Dijkstra and cost memos as primary allocation, with the flow's
+        primary (and earlier-backup) links forbidden, optional
+        intermediate switches blocked (node-disjoint mode), and earlier
+        spare reservations counted against link capacity.  The
+        shutdown-safety transition rule applies unchanged — a backup
+        may not cross a third-party voltage island either.
+
+        ``sw_list``/``pair_links`` are the caller-maintained views of
+        ``topo`` (see :meth:`_route_all` for their shape); the caller
+        opens the returned ``_OPEN`` hops and keeps both views current.
+        Returns ``(hops, zero_load_latency_cycles)`` or ``None``.
+        """
+        n = len(sw_list)
+        min_lat = self._min_lat
+        pressure = (
+            min_lat / flow.latency_cycles if flow.latency_cycles > 0 else 1.0
+        )
+        lib = self.library
+        unit_intra = self.cfg.latency_cost_mw_per_cycle * (
+            lib.link_traversal_cycles + lib.switch_traversal_cycles
+        )
+        unit_cross = self.cfg.latency_cost_mw_per_cycle * (
+            lib.fifo_crossing_cycles + lib.switch_traversal_cycles
+        )
+        found = self._search(
+            topo,
+            sw_list,
+            n,
+            self._adj_store if self.use_cache else {},
+            self._ranks(sw_list),
+            self.use_cache,
+            pair_links,
+            flow,
+            src_i,
+            dst_i,
+            unit_intra * pressure,
+            unit_cross * pressure,
+            0,
+            latency_only=latency_only,
+            forbidden_links=forbidden_links,
+            blocked_switches=blocked_switches,
+            reserved=reserved,
+            allow_open=allow_open,
+        )
+        self._flush_counters()
+        return found
 
     # -- scaffold ------------------------------------------------------
 
@@ -915,6 +1036,10 @@ class PathAllocator:
         lat_cost_cross: float,
         port_reserve: int,
         latency_only: bool = False,
+        forbidden_links: Optional[Set[int]] = None,
+        blocked_switches: Optional[Set[int]] = None,
+        reserved: Optional[Mapping[int, float]] = None,
+        allow_open: bool = True,
     ) -> Optional[Tuple[List[Tuple[int, int, str, Optional[Link]]], int]]:
         """Dijkstra over the allowed switch graph.
 
@@ -925,6 +1050,15 @@ class PathAllocator:
         the cheapest path misses the flow's latency budget.  The
         pressure-weighted hop costs ``lat_cost_intra``/``lat_cost_cross``
         come precomputed from the flow plan.
+
+        The last four parameters serve backup-route allocation
+        (:meth:`route_backup`) and default to "off" — primary routing
+        passes ``None`` and skips every associated check.
+        ``forbidden_links`` bans reusing specific physical links (the
+        disjointness constraint), ``blocked_switches`` bans traversing
+        specific switch indices (node-disjoint mode), ``reserved``
+        charges spare-capacity reservations against link headroom, and
+        ``allow_open=False`` restricts backups to existing hardware.
         """
         cfg = self.cfg
         lib = self.library
@@ -997,6 +1131,8 @@ class PathAllocator:
             ) in edges:
                 if visited[vidx]:
                     continue
+                if blocked_switches is not None and vidx in blocked_switches:
+                    continue
                 evals += 1
                 if crossing:
                     lat_cycles = lat_cross
@@ -1017,7 +1153,12 @@ class PathAllocator:
                 existing = pair_links.get(ukey + vidx)
                 if existing:
                     for link in existing:
-                        if link.capacity_mbps - link._used_mbps + 1e-9 < bw:
+                        if forbidden_links is not None and link.id in forbidden_links:
+                            continue
+                        avail = link.capacity_mbps - link._used_mbps
+                        if reserved is not None:
+                            avail -= reserved.get(link.id, 0.0)
+                        if avail + 1e-9 < bw:
                             continue
                         if latency_only:
                             best_cost = float(lat_cycles)
@@ -1038,7 +1179,7 @@ class PathAllocator:
                         break
                 # Open a new link (subject to size bounds and the
                 # parallel-link policy).
-                if allow_parallel or not existing:
+                if allow_open and (allow_parallel or not existing):
                     new_v = v_n_in + 1
                     if v_n_out > new_v:
                         new_v = v_n_out

@@ -97,6 +97,23 @@ class SynthesisConfig:
     #: selection helpers fall back to the static-power objective —
     #: byte-identical to passing ``StaticPowerObjective()``.
     objective: Optional[Objective] = None
+    #: Objective-aware sweep pruning: once an incumbent best point
+    #: exists, a candidate whose cheap *exact cost prefix*
+    #: (:meth:`~repro.core.objective.Objective.partial_cost`) compares
+    #: strictly greater than the incumbent's cost is dropped without
+    #: the expensive remainder of its evaluation (trace replays,
+    #: spare-path protection).  Pruned candidates are recorded in
+    #: ``DesignSpace.failures`` and never enter ``points`` — the space
+    #: is smaller, but selection under the objective is provably
+    #: identical to the unpruned sweep (a strictly greater prefix
+    #: implies a strictly greater full cost vector).  With no
+    #: objective configured, the static-power default drives the prune
+    #: decision only (points still carry no ``objective_result``).
+    #: Inert when ``max_design_points`` is set: the cap truncates by
+    #: accepted-point count, and skipping candidates would shift the
+    #: truncation boundary — breaking the identical-selection
+    #: guarantee — so the sweep silently evaluates everything instead.
+    prune_sweep: bool = False
 
 
 def synthesize(
@@ -117,6 +134,20 @@ def synthesize(
     plans = plan_all_islands(spec, library, cfg.freq_step_mhz, cfg.min_freq_mhz)
     vcgs = build_all_vcgs(spec, cfg.alpha)
     space = DesignSpace(spec_name=spec.name, objective=cfg.objective)
+    # Pruning needs a full-cost incumbent to compare prefixes against;
+    # with no objective configured the static-power default drives the
+    # prune decision alone (accepted points stay objective-free).
+    # Under max_design_points the cap truncates by accepted-point
+    # count; pruning would shift that boundary (a pruned candidate may
+    # or may not have been vetoed by the objective, which the skipped
+    # evaluation cannot tell), so the guarantee only holds with the
+    # prune disabled.
+    prune_obj: Optional[Objective] = None
+    if cfg.prune_sweep and cfg.max_design_points is None:
+        from .objective import StaticPowerObjective
+
+        prune_obj = cfg.objective or StaticPowerObjective()
+    incumbent: Optional[Tuple[float, ...]] = None
 
     max_cores = max(p.num_cores for p in plans.values())
     has_cross_flows = bool(spec.flows_across_islands())
@@ -179,6 +210,24 @@ def synthesize(
                 point = _evaluate_point(
                     result, plans, counts, k_mid, point_index, library, cfg
                 )
+            if prune_obj is not None and incumbent is not None:
+                prefix = prune_obj.partial_cost(point)
+                if prefix is not None and prefix > incumbent[: len(prefix)]:
+                    # The prefix is an exact prefix of the full cost
+                    # vector and already compares strictly greater, so
+                    # the candidate can never beat the incumbent —
+                    # skip the expensive remainder of its evaluation.
+                    recorder = active_recorder()
+                    if recorder is not None:
+                        recorder.count("sweep_pruned")
+                    space.failures.append(
+                        (counts_key, k_mid, "pruned: partial cost above incumbent")
+                    )
+                    continue
+            if cfg.objective is not None:
+                point = replace(
+                    point, objective_result=cfg.objective.evaluate(point)
+                )
             if point.objective_result is not None and not point.objective_result.feasible:
                 # Co-synthesis rejection: the objective vetoes the
                 # candidate mid-sweep, exactly like a routing failure
@@ -192,6 +241,14 @@ def synthesize(
                 )
                 continue
             space.points.append(point)
+            if prune_obj is not None:
+                cost = (
+                    point.objective_result.cost
+                    if point.objective_result is not None
+                    else prune_obj.evaluate(point).cost
+                )
+                if incumbent is None or cost < incumbent:
+                    incumbent = cost
             point_index += 1
             if cfg.max_design_points is not None and len(space.points) >= cfg.max_design_points:
                 return space
@@ -269,7 +326,9 @@ def _evaluate_point(
     noc_power = compute_noc_power(topo, use_lengths=cfg.use_lengths)
     soc_power = compute_soc_power(topo, noc_power)
     latency = evaluate_latency(topo)
-    point = DesignPoint(
+    # Objective scoring happens in the sweep loop (after the pruning
+    # decision), not here — this builds the metrics-only point.
+    return DesignPoint(
         index=index,
         switch_counts=dict(counts),
         num_intermediate_requested=k_mid,
@@ -281,6 +340,3 @@ def _evaluate_point(
         soc_power=soc_power,
         latency=latency,
     )
-    if cfg.objective is not None:
-        point = replace(point, objective_result=cfg.objective.evaluate(point))
-    return point

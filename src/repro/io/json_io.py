@@ -242,3 +242,56 @@ def design_point_summary(point: DesignPoint) -> Dict[str, Any]:
         out["objective_cost"] = list(point.objective_result.cost)
         out["objective_metrics"] = dict(point.objective_result.metrics)
     return out
+
+
+# ----------------------------------------------------------------------
+# Resilience
+# ----------------------------------------------------------------------
+
+
+def spare_plan_summary(plan) -> Dict[str, Any]:
+    """Flat, deterministic JSON summary of a :class:`SparePlan`.
+
+    Keys sort and every collection is ordered, so two allocations on
+    equal topologies serialize byte-identically — the determinism pin
+    the resilience bench checks with ``json.dumps(..., sort_keys=True)``.
+    """
+    return {
+        "k": plan.k,
+        "node_disjoint": plan.node_disjoint,
+        "protected_flows": plan.protected_flows,
+        "trivially_safe": ["%s->%s" % key for key in plan.trivially_safe],
+        "unprotected": ["%s->%s" % key for key in plan.unprotected],
+        "links_opened": plan.links_opened,
+        "opened_links": list(plan.opened_links),
+        "reserved_mbps": {
+            str(lid): round(mbps, 6)
+            for lid, mbps in sorted(plan.reserved_mbps.items())
+        },
+        "backups": {
+            "%s->%s" % key: [list(route.links) for route in routes]
+            for key, routes in sorted(plan.backups.items())
+        },
+        "backup_cycles": {
+            "%s->%s" % key: list(cycles)
+            for key, cycles in sorted(plan.backup_cycles.items())
+        },
+    }
+
+
+def coverage_summary(report) -> Dict[str, Any]:
+    """JSON summary of a :class:`CoverageReport` (rollup + per-scenario)."""
+    out = dict(report.summary())
+    out["per_scenario"] = [
+        {
+            "scenario": s.scenario.name,
+            "kind": s.scenario.kind,
+            "eligible": s.eligible,
+            "covered": s.covered,
+            "rerouted": s.rerouted,
+            "lost": ["%s->%s" % f for f in s.lost_flows],
+            "max_added_cycles": s.max_added_cycles,
+        }
+        for s in report.scenarios
+    ]
+    return out

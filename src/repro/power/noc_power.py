@@ -208,6 +208,41 @@ def compute_noc_power(
     )
 
 
+def route_traffic_power_mw(
+    topology: Topology,
+    bandwidth_mbps: float,
+    links: Iterable[int],
+    use_lengths: bool = True,
+    include_ni: bool = False,
+) -> float:
+    """Traffic power of one flow over an explicit link path.
+
+    The per-route slice of :func:`compute_noc_power`'s traffic terms —
+    switch crossbars (each switch charged once, as the receiver of its
+    incoming link), wire energy per link, converter energy on
+    island-crossing links, and optionally the two NI endpoints.  The
+    runtime fault injection uses the difference between a backup and a
+    primary route to integrate degraded-mode energy, so the accounting
+    here must mirror ``compute_noc_power`` term for term.
+    """
+    lib = topology.library
+    power = 0.0
+    for lid in links:
+        link = topology.links[lid]
+        ebit = lib.link_ebit_pj(link.length_mm if use_lengths else 0.0)
+        power += units.traffic_power_mw(bandwidth_mbps, ebit)
+        if link.converter:
+            power += units.traffic_power_mw(bandwidth_mbps, lib.fifo_ebit_pj)
+        sw = topology.switches.get(link.dst)
+        if sw is not None:
+            power += units.traffic_power_mw(
+                bandwidth_mbps, lib.switch_ebit_pj(max(sw.n_in, 1), max(sw.n_out, 1))
+            )
+    if include_ni:
+        power += units.traffic_power_mw(bandwidth_mbps, 2.0 * lib.ni_ebit_pj)
+    return power
+
+
 def noc_area_mm2(topology: Topology) -> float:
     """Total silicon area of the NoC components (switches, NIs, FIFOs)."""
     lib = topology.library

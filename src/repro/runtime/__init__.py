@@ -39,6 +39,7 @@ from .policies import (
     make_policy,
 )
 from .report import (
+    FaultImpact,
     IslandRuntime,
     RoutabilityViolation,
     RuntimeReport,
@@ -62,6 +63,7 @@ from .trace import (
 
 __all__ = [
     "AlwaysOff",
+    "FaultImpact",
     "BreakEvenOracle",
     "EwmaIdlePredictor",
     "GatingPolicy",

@@ -45,6 +45,49 @@ class RoutabilityViolation:
 
 
 @dataclass(frozen=True)
+class FaultImpact:
+    """One flow's fate under one injected fault event.
+
+    Recorded once per (event, flow) at the first trace segment where
+    the flow is active inside the fault window: either the flow failed
+    over to a spare route (``fate == "rerouted"``, with the zero-load
+    latency penalty and the one-time switchover stall), or no backup
+    survived and the flow is down for the rest of the window
+    (``fate == "lost"``).
+    """
+
+    event_index: int
+    scenario: str
+    segment_index: int
+    use_case: str
+    flow: FlowKey
+    fate: str  # "rerouted" | "lost"
+    backup_index: int = -1
+    added_cycles: int = 0
+    stall_ms: float = 0.0
+
+    def describe(self) -> str:
+        if self.fate == "rerouted":
+            return (
+                "fault %s: flow %s->%s failed over to backup %d "
+                "(+%d cycles, %.3f ms stall)"
+                % (
+                    self.scenario,
+                    self.flow[0],
+                    self.flow[1],
+                    self.backup_index,
+                    self.added_cycles,
+                    self.stall_ms,
+                )
+            )
+        return "fault %s: flow %s->%s lost (no surviving backup)" % (
+            self.scenario,
+            self.flow[0],
+            self.flow[1],
+        )
+
+
+@dataclass(frozen=True)
 class IslandRuntime:
     """One island's runtime statistics over a trace."""
 
@@ -99,10 +142,19 @@ class RuntimeReport:
     #: latency the QoS objective checks against per-flow deadlines.
     #: Populated by the routability pass (empty when it is skipped).
     flow_stall_ms: Mapping[FlowKey, float] = field(default_factory=dict)
+    #: Per-flow fates under injected fault events (see
+    #: :class:`FaultImpact`); empty when no faults were injected.
+    fault_impacts: Tuple[FaultImpact, ...] = ()
+    #: Traffic-energy delta of degraded-mode operation: rerouted flows
+    #: pay their (usually longer) backup path, lost flows stop paying
+    #: at all — so the delta can be negative while service is down.
+    fault_delta_mj: float = 0.0
+    #: Total one-time failover (detect + switchover) stall time.
+    fault_stall_ms: float = 0.0
 
     @property
     def total_mj(self) -> float:
-        """Total trace energy."""
+        """Total trace energy (including degraded-mode traffic delta)."""
         return (
             self.core_dynamic_mj
             + self.noc_traffic_mj
@@ -110,7 +162,23 @@ class RuntimeReport:
             + self.islands_off_mj
             + self.always_on_mj
             + self.wake_energy_mj
+            + self.fault_delta_mj
         )
+
+    @property
+    def rerouted_flow_events(self) -> int:
+        """(event, flow) pairs that failed over to a spare route."""
+        return sum(1 for i in self.fault_impacts if i.fate == "rerouted")
+
+    @property
+    def lost_flow_events(self) -> int:
+        """(event, flow) pairs with no surviving backup."""
+        return sum(1 for i in self.fault_impacts if i.fate == "lost")
+
+    @property
+    def degraded(self) -> bool:
+        """True when any injected fault touched an active flow."""
+        return bool(self.fault_impacts)
 
     @property
     def static_mj(self) -> float:

@@ -32,18 +32,32 @@ exactly optimal per idle interval — and the bench invariant
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..arch.topology import INTERMEDIATE_ISLAND, FlowKey, Topology
 from ..exceptions import SpecError
 from ..power.gating import GatingModel, island_gating_cost
 from ..power.leakage import statically_pinned_islands
-from ..power.noc_power import compute_noc_power
+from ..power.noc_power import compute_noc_power, route_traffic_power_mw
 from ..sim.scenarios import UseCase
 from .policies import GatingPolicy, IslandEconomics, default_policies
-from .report import IslandRuntime, RoutabilityViolation, RuntimeReport
+from .report import FaultImpact, IslandRuntime, RoutabilityViolation, RuntimeReport
 from .states import IslandState, IslandStateMachine
 from .trace import UseCaseTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..resilience.faults import FaultEvent
+    from ..resilience.spare_paths import SparePlan
 
 #: mW * ms -> mJ.
 UJ_TO_MJ = 1e-3
@@ -214,6 +228,8 @@ def simulate_trace(
     model: Optional[GatingModel] = None,
     check_routability: bool = True,
     pinned_islands: Optional[Iterable[int]] = None,
+    fault_events: Optional[Sequence["FaultEvent"]] = None,
+    spare_plan: Optional["SparePlan"] = None,
     _context: Optional[_TraceContext] = None,
 ) -> RuntimeReport:
     """Integrate energy (and verify routability) of a trace under a policy.
@@ -227,6 +243,18 @@ def simulate_trace(
     :func:`certified_policy_comparison` helper wires this up.
     ``_context`` lets :func:`compare_policies` share the
     policy-independent preprocessing across policies.
+
+    ``fault_events`` injects component failures
+    (:class:`repro.resilience.faults.FaultEvent`) into the replay:
+    while an event's window overlaps a segment, each active flow whose
+    primary route uses a failed component either fails over to its
+    first surviving backup from ``spare_plan`` (paying the backup
+    path's traffic energy and a one-time switchover stall folded into
+    the per-flow wake-stall accounting) or — with no surviving backup —
+    is lost for the window (its traffic energy stops, recorded as a
+    ``lost`` :class:`~repro.runtime.report.FaultImpact`).  The
+    topology must be the *protected* one the plan's backup routes
+    reference.
     """
     pinned = frozenset(pinned_islands or ())
     ctx = _context or _build_context(topology, trace, model)
@@ -341,6 +369,95 @@ def simulate_trace(
                     stalled_flows += 1
                 flow_stall_ms[key] = max(flow_stall_ms.get(key, 0.0), seg_stall)
 
+    # --- injected fault events: degraded-mode energy and stalls -------
+    fault_impacts: List[FaultImpact] = []
+    fault_delta_uj = 0.0
+    fault_stall_total = 0.0
+    if fault_events:
+        # Deferred import: the resilience package sits above runtime in
+        # the layering (its coverage module pulls in the objective
+        # layer, which imports this module).
+        from ..resilience.faults import endpoint_failed, route_affected
+
+        # (event index, use case) -> affected active flows with their
+        # fate, power delta and failover latency; classification is
+        # pure in those two inputs.
+        fate_memo: Dict[Tuple[int, str], List[tuple]] = {}
+
+        def classify(ev_idx: int, use_case: str) -> List[tuple]:
+            entries = fate_memo.get((ev_idx, use_case))
+            if entries is not None:
+                return entries
+            scenario = fault_events[ev_idx].scenario
+            entries = []
+            for key, _islands in profiles[use_case].flow_islands:
+                route = topology.routes[key]
+                affected = route_affected(scenario, topology, route)
+                dead_end = endpoint_failed(scenario, topology, key)
+                if not affected and not dead_end:
+                    continue
+                bw = topology.spec.flow(*key).bandwidth_mbps
+                backup_idx = -1
+                if not dead_end and spare_plan is not None:
+                    for idx2, backup in enumerate(spare_plan.backups_for(key)):
+                        if not route_affected(scenario, topology, backup):
+                            backup_idx = idx2
+                            break
+                if backup_idx >= 0:
+                    backup = spare_plan.backups[key][backup_idx]
+                    delta_mw = route_traffic_power_mw(
+                        topology, bw, backup.links
+                    ) - route_traffic_power_mw(topology, bw, route.links)
+                    added = (
+                        spare_plan.backup_cycles[key][backup_idx]
+                        - spare_plan.primary_cycles.get(key, 0)
+                    )
+                    entries.append((key, "rerouted", backup_idx, delta_mw, added))
+                else:
+                    # Service down: the flow's traffic energy stops
+                    # (NI endpoints included) for the fault window.
+                    delta_mw = -route_traffic_power_mw(
+                        topology, bw, route.links, include_ni=True
+                    )
+                    entries.append((key, "lost", -1, delta_mw, 0))
+            fate_memo[(ev_idx, use_case)] = entries
+            return entries
+
+        seen: Set[Tuple[int, FlowKey]] = set()
+        for idx, (start, end, seg) in enumerate(boundaries):
+            for ev_idx, event in enumerate(fault_events):
+                overlap = event.overlap_ms(start, end)
+                if overlap <= 1e-12:
+                    continue
+                for key, fate, backup_idx, delta_mw, added in classify(
+                    ev_idx, seg.use_case
+                ):
+                    fault_delta_uj += delta_mw * overlap
+                    if (ev_idx, key) in seen:
+                        continue
+                    seen.add((ev_idx, key))
+                    stall = (
+                        event.reroute_stall_ms if fate == "rerouted" else 0.0
+                    )
+                    if stall > 0.0:
+                        fault_stall_total += stall
+                        flow_stall_ms[key] = max(
+                            flow_stall_ms.get(key, 0.0), stall
+                        )
+                    fault_impacts.append(
+                        FaultImpact(
+                            event_index=ev_idx,
+                            scenario=event.scenario.name,
+                            segment_index=idx,
+                            use_case=seg.use_case,
+                            flow=key,
+                            fate=fate,
+                            backup_index=backup_idx,
+                            added_cycles=added,
+                            stall_ms=stall,
+                        )
+                    )
+
     return RuntimeReport(
         trace_name=trace.name,
         policy=policy.describe(),
@@ -359,6 +476,9 @@ def simulate_trace(
         violations=tuple(violations),
         per_island=per_island,
         flow_stall_ms=flow_stall_ms,
+        fault_impacts=tuple(fault_impacts),
+        fault_delta_mj=fault_delta_uj * UJ_TO_MJ,
+        fault_stall_ms=fault_stall_total,
     )
 
 

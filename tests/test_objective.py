@@ -368,3 +368,165 @@ class TestObjectiveResult:
     def test_defaults(self):
         r = ObjectiveResult(cost=(1.0,))
         assert r.feasible and r.reason is None and r.metrics == {}
+
+
+class TestAreaAndWireObjectives:
+    """The ROADMAP floorplan-quality objectives (ISSUE-5 satellite)."""
+
+    def test_registry_names(self):
+        from repro import StaticAreaObjective, WireLengthObjective
+
+        assert isinstance(make_objective("static_area"), StaticAreaObjective)
+        assert isinstance(make_objective("wire-length"), WireLengthObjective)
+        assert "static_area" in OBJECTIVE_NAMES
+        assert "wire_length" in OBJECTIVE_NAMES
+
+    def test_area_selection_minimizes_area(self, d26_space):
+        best = d26_space.best(objective=make_objective("static_area"))
+        assert best.soc_power.noc_area_mm2 == min(
+            p.soc_power.noc_area_mm2 for p in d26_space.points
+        )
+
+    def test_wire_selection_minimizes_wire(self, d26_space):
+        best = d26_space.best(objective=make_objective("wire_length"))
+        assert best.wires.total_length_mm == min(
+            p.wires.total_length_mm for p in d26_space.points
+        )
+
+    def test_cost_vectors_and_columns(self, tiny_best):
+        area = make_objective("static_area")
+        result = area.evaluate(tiny_best)
+        assert result.cost == (
+            tiny_best.soc_power.noc_area_mm2,
+            tiny_best.power_mw,
+            tiny_best.avg_latency_cycles,
+        )
+        assert area.partial_cost(tiny_best) == result.cost
+        assert area.columns(tiny_best)["noc_area_mm2"] == round(
+            tiny_best.soc_power.noc_area_mm2, 4
+        )
+        wire = make_objective("wire_length")
+        assert wire.evaluate(tiny_best).cost[0] == tiny_best.wires.total_length_mm
+        assert wire.partial_cost(tiny_best) == wire.evaluate(tiny_best).cost
+
+
+@pytest.mark.runtime
+class TestMultiTrace:
+    """Worst-case/mean scoring over a trace set (ISSUE-5 satellite)."""
+
+    def _traces(self, spec, n=3):
+        from repro.runtime import markov_trace
+        from repro.soc.usecases import use_cases_for
+
+        return tuple(
+            markov_trace(use_cases_for(spec), n_segments=24, seed=s)
+            for s in range(n)
+        )
+
+    def test_validation(self, d26_log6):
+        from repro import MultiTraceObjective
+
+        with pytest.raises(SpecError):
+            MultiTraceObjective()
+        traces = self._traces(d26_log6, 2)
+        with pytest.raises(SpecError):
+            MultiTraceObjective(traces=traces, aggregate="median")
+        with pytest.raises(SpecError):
+            make_objective("multi_trace")
+
+    def test_worst_dominates_mean(self, d26_log6, d26_best):
+        from repro import MultiTraceObjective, TraceEnergyObjective
+
+        traces = self._traces(d26_log6)
+        obj = MultiTraceObjective(traces=traces)
+        result = obj.evaluate(d26_best)
+        worst, mean = result.cost[0], result.cost[1]
+        assert worst >= mean - 1e-12
+        # The aggregates really are over the per-trace energies.
+        singles = [
+            TraceEnergyObjective(trace=t).evaluate(d26_best).cost[0]
+            for t in traces
+        ]
+        assert worst == pytest.approx(max(singles))
+        assert mean == pytest.approx(sum(singles) / len(singles))
+        for t in traces:
+            assert "trace_mj.%s" % t.name in result.metrics
+
+    def test_mean_aggregate_reorders_cost(self, d26_log6, d26_best):
+        from repro import MultiTraceObjective
+
+        traces = self._traces(d26_log6, 2)
+        worst = MultiTraceObjective(traces=traces).evaluate(d26_best)
+        mean = MultiTraceObjective(traces=traces, aggregate="mean").evaluate(
+            d26_best
+        )
+        assert worst.cost[0] == mean.cost[1] and worst.cost[1] == mean.cost[0]
+
+    def test_selection_robust_over_seeds(self, d26_log6, d26_space):
+        """The multi-trace pick is never worse in worst-case energy than
+        any single-seed pick, on that same trace set."""
+        from repro import MultiTraceObjective
+
+        traces = self._traces(d26_log6)
+        multi = MultiTraceObjective(traces=traces)
+        chosen = d26_space.best(objective=multi)
+        chosen_worst = multi.evaluate(chosen).cost[0]
+        for point in d26_space.points:
+            assert chosen_worst <= multi.evaluate(point).cost[0] + 1e-9
+
+
+class TestSweepPruning:
+    """prune_sweep=True: smaller space, provably identical selection."""
+
+    def test_static_prune_identical_selection_tiny(self, tiny_spec, tiny_space):
+        pruned = synthesize(
+            tiny_spec, config=SynthesisConfig(prune_sweep=True)
+        )
+        assert pruned.best_by_power().label() == tiny_space.best_by_power().label()
+        assert len(pruned) <= len(tiny_space)
+
+    def test_static_prune_identical_selection_d26(self, d26_log6, d26_space):
+        cfg = SynthesisConfig(max_intermediate=2, prune_sweep=True)
+        pruned = synthesize(d26_log6, config=cfg)
+        a, b = pruned.best_by_power(), d26_space.best_by_power()
+        assert a.label() == b.label()
+        assert (a.power_mw, a.avg_latency_cycles) == (
+            b.power_mw,
+            b.avg_latency_cycles,
+        )
+        # The sweep actually pruned something on d26.
+        assert any("pruned" in reason for _, _, reason in pruned.failures)
+
+    def test_prune_with_objective_identical_selection(self, d26_log6):
+        from repro import ResilienceObjective
+
+        cfg = SynthesisConfig(
+            max_intermediate=1, objective=ResilienceObjective()
+        )
+        plain = synthesize(d26_log6, config=cfg)
+        pruned = synthesize(
+            d26_log6, config=dataclasses.replace(cfg, prune_sweep=True)
+        )
+        assert plain.best().label() == pruned.best().label()
+        assert plain.best().objective_result.cost == (
+            pruned.best().objective_result.cost
+        )
+        assert any("pruned" in reason for _, _, reason in pruned.failures)
+
+    @pytest.mark.runtime
+    def test_prune_never_fires_without_partial_cost(self, tiny_spec, idle_trace):
+        """Objectives with no cheap prefix are never pruned."""
+        obj = TraceEnergyObjective(trace=idle_trace)
+        cfg = SynthesisConfig(objective=obj)
+        plain = synthesize(tiny_spec, config=cfg)
+        pruned = synthesize(
+            tiny_spec, config=dataclasses.replace(cfg, prune_sweep=True)
+        )
+        assert point_signature(plain) == point_signature(pruned)
+        assert not any("pruned" in reason for _, _, reason in pruned.failures)
+
+    def test_pruned_points_carry_no_objective_result(self, tiny_spec):
+        """With no objective configured, pruning stays metrics-only."""
+        space = synthesize(tiny_spec, config=SynthesisConfig(prune_sweep=True))
+        for p in space.points:
+            assert p.objective_result is None
