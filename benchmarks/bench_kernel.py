@@ -1,0 +1,98 @@
+"""Routing-kernel micro-bench: scalar loop vs batched vector kernel.
+
+Algorithm 1 spends its time in the per-flow path searches; the
+``vector`` kernel replaces most of them with a provable direct-open
+dominance shortcut and batches what remains over flat arrays (see
+``repro.core.paths``).  This bench times both kernels on the same
+generated-SoC scaling sweep the perf harness uses, prints the
+per-size wall-clock and the counter evidence (shortcut answers vs
+full Dijkstra runs), and asserts the design points are byte-identical
+— speed that changes results is a bug, not a feature.
+
+The worker-pool counterpart lives in
+``scripts/run_benchmarks.py::run_worker_scaling`` (it needs process
+control, which a pytest bench should not fork under the hood).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from _bench_utils import write_result
+from repro import SynthesisConfig, synthesize
+from repro.io.report import format_table
+from repro.perf import PerfRecorder, recording
+from repro.soc.generator import GeneratorConfig, generate_soc
+from repro.soc.partitioning import communication_partitioning
+
+FAST = SynthesisConfig(max_intermediate=1)
+SIZES = (10, 20, 30, 40)
+
+
+def _scaling_spec(n_cores: int):
+    spec = generate_soc(
+        GeneratorConfig(
+            name="scale%d" % n_cores, num_cores=n_cores, num_groups=4, seed=7
+        )
+    )
+    return communication_partitioning(spec, 4)
+
+
+def _signature(space):
+    return [
+        (p.label(), p.power_mw, p.avg_latency_cycles) for p in space.points
+    ]
+
+
+def test_kernel_scaling_comparison(benchmark):
+    specs = [(n, _scaling_spec(n)) for n in SIZES]
+
+    def run(kernel):
+        cfg = dataclasses.replace(FAST, kernel=kernel)
+        rec = PerfRecorder()
+        rows = []
+        sigs = {}
+        with recording(rec):
+            for n, part in specs:
+                t0 = time.perf_counter()
+                space = synthesize(part, config=cfg)
+                dt = time.perf_counter() - t0
+                sigs[n] = _signature(space)
+                rows.append({"cores": n, "seconds": dt})
+        return rows, sigs, rec
+
+    def sweep():
+        scalar_rows, scalar_sigs, scalar_rec = run("scalar")
+        vector_rows, vector_sigs, vector_rec = run("vector")
+        assert scalar_sigs == vector_sigs, "kernels disagree on design points"
+        rows = []
+        for s, v in zip(scalar_rows, vector_rows):
+            rows.append(
+                {
+                    "cores": s["cores"],
+                    "scalar_s": round(s["seconds"], 4),
+                    "vector_s": round(v["seconds"], 4),
+                    "speedup": round(s["seconds"] / max(v["seconds"], 1e-9), 2),
+                }
+            )
+        counters = {
+            "scalar_dijkstra_pops": scalar_rec.counters.get("dijkstra_pops", 0),
+            "scalar_edge_evals": scalar_rec.counters.get("edge_evals", 0),
+            "vector_shortcuts": vector_rec.counters.get(
+                "direct_open_shortcuts", 0
+            ),
+            "vector_dijkstra_pops": vector_rec.counters.get("dijkstra_pops", 0),
+            "vector_edge_evals": vector_rec.counters.get("edge_evals", 0),
+            "vector_frontier_pops": vector_rec.counters.get("vector_pops", 0),
+        }
+        return rows, counters
+
+    rows, counters = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        rows, title="Routing kernel wall-clock: scalar vs vector (identical points)"
+    )
+    lines = ["%-22s %d" % (k, v) for k, v in sorted(counters.items())]
+    table += "\ncounters:\n" + "\n".join("  " + ln for ln in lines) + "\n"
+    print("\n" + table)
+    write_result("kernel_scaling", table, rows)

@@ -3,14 +3,21 @@
 
 Runs the same scaling sweep as
 ``benchmarks/bench_runtime.py::test_runtime_scaling_with_core_count``
-under a :class:`repro.perf.PerfRecorder`, plus two ablations:
+under a :class:`repro.perf.PerfRecorder`, plus three ablations:
 
+* **kernel comparison** — the same sweep once per routing kernel
+  (``scalar`` vs ``vector``), with per-kernel counters and
+  ``allocation.<kernel>`` phase timers; the design points must be
+  byte-identical on every spec (exit code) and the vector total has
+  its own regression gate against the previous snapshot;
 * **cache ablation** — one representative size synthesized with
   ``enable_caches`` on and off, asserting the chosen design points are
   identical (the fast path must not change results) and recording the
   speedup;
-* **worker scaling** — the same exploration sweep at ``workers=1`` and
-  ``workers=N`` through :class:`repro.core.explore.ExplorationEngine`.
+* **worker scaling** — the same exploration sweep per worker count on
+  a persistent :class:`repro.core.explore.ExplorationEngine` pool
+  (cold and warm passes); parallel rows are explicitly skipped on
+  single-CPU hosts, where they would only measure fork overhead.
 
 The JSON is append-friendly for trend tracking: re-runs overwrite the
 file, so commit it (or archive it) per milestone.  See
@@ -152,24 +159,148 @@ def run_cache_ablation(n_cores: int) -> Dict[str, object]:
     }
 
 
+def run_kernel_comparison(sizes: List[int]) -> Dict[str, object]:
+    """Scalar vs vector routing kernel over the scaling specs.
+
+    Times the same sweep once per kernel under its own recorder, so the
+    section carries per-kernel counters (shortcuts, vector frontier
+    pops, scalar Dijkstra pops, edge evaluations) and the per-kernel
+    ``allocation.<kernel>`` phase timers next to the wall-clock rows.
+    Design points must be byte-identical between the kernels on *every*
+    spec — ``identical_points`` participates in the harness exit code.
+    """
+    per_kernel: Dict[str, Dict[str, object]] = {}
+    signatures: Dict[str, Dict[int, List[Dict[str, object]]]] = {}
+    for kern in ("scalar", "vector"):
+        cfg = dataclasses.replace(FAST, kernel=kern)
+        rec = PerfRecorder()
+        rows = []
+        sigs: Dict[int, List[Dict[str, object]]] = {}
+        with recording(rec):
+            for n_cores in sizes:
+                part = _scaling_spec(n_cores)
+                t0 = time.perf_counter()
+                space = synthesize(part, config=cfg)
+                dt = time.perf_counter() - t0
+                sigs[n_cores] = point_signature(space)
+                rows.append(
+                    {
+                        "cores": n_cores,
+                        "design_points": len(space),
+                        "seconds": round(dt, 4),
+                    }
+                )
+        total = sum(r["seconds"] for r in rows)
+        wanted = (
+            "direct_open_shortcuts",
+            "vector_pops",
+            "vector_edges",
+            "dijkstra_pops",
+            "edge_evals",
+            "cost_cache_hits",
+            "cost_cache_misses",
+        )
+        per_kernel[kern] = {
+            "rows": rows,
+            "total_seconds": round(total, 4),
+            "counters": {k: rec.counters.get(k, 0) for k in wanted},
+            "phase_seconds": {
+                k: round(v, 4)
+                for k, v in sorted(rec.phase_seconds.items())
+                if k.startswith("allocation")
+            },
+        }
+        signatures[kern] = sigs
+        print(
+            "  %-6s total %.3fs (shortcuts=%d, dijkstra_pops=%d, "
+            "vector_pops=%d, edge_evals=%d)"
+            % (
+                kern,
+                total,
+                rec.counters.get("direct_open_shortcuts", 0),
+                rec.counters.get("dijkstra_pops", 0),
+                rec.counters.get("vector_pops", 0),
+                rec.counters.get("edge_evals", 0),
+            )
+        )
+    per_size_identical = {
+        str(n): signatures["scalar"][n] == signatures["vector"][n] for n in sizes
+    }
+    identical = all(per_size_identical.values())
+    if not identical:
+        print(
+            "  WARNING: scalar and vector kernels disagree on design points!",
+            file=sys.stderr,
+        )
+    scalar_total = per_kernel["scalar"]["total_seconds"]
+    vector_total = per_kernel["vector"]["total_seconds"]
+    speedup = round(scalar_total / max(vector_total, 1e-9), 3)
+    print("  vector vs scalar: %.2fx, identical_points=%s" % (speedup, identical))
+    return {
+        "sizes": sizes,
+        "scalar": per_kernel["scalar"],
+        "vector": per_kernel["vector"],
+        "speedup": speedup,
+        "identical_points": identical,
+        "per_size_identical": per_size_identical,
+    }
+
+
 def run_worker_scaling(n_cores: int, workers: int) -> List[Dict[str, object]]:
-    """The alpha sweep at 1 and N workers (same records either way)."""
+    """The alpha sweep per worker count, on the persistent pool.
+
+    Every row is measured twice on one engine: a cold pass that builds
+    the worker pool (and warms the in-process caches for ``workers=1``)
+    and a warm pass that reuses it — the warm figure is the one
+    parallel speedups are judged by, since a long-lived engine pays the
+    pool start-up once.  On single-CPU hosts the parallel rows are
+    *skipped* and say so explicitly: timing process fan-out on one core
+    only measures fork overhead, not the pool.
+    """
     part = _scaling_spec(n_cores)
     alphas = [0.2, 0.4, 0.6, 0.8]
+    cpus = os.cpu_count() or 1
+    counts = {1, workers}
+    if cpus >= 4:
+        counts.add(4)
     out = []
-    for w in sorted({1, workers}):
-        engine = ExplorationEngine(workers=w, config=FAST)
-        t0 = time.perf_counter()
-        records = engine.alpha_exploration(part, alphas)
-        dt = time.perf_counter() - t0
+    for w in sorted(counts):
+        if w > 1 and cpus <= 1:
+            reason = (
+                "skipped: single-CPU host (os.cpu_count()=%d), parallel "
+                "timing would only measure fork overhead" % cpus
+            )
+            print("  workers=%d: %s" % (w, reason))
+            out.append(
+                {
+                    "workers": w,
+                    "tasks": len(alphas),
+                    "feasible": None,
+                    "cold_seconds": None,
+                    "seconds": None,
+                    "skipped": reason,
+                }
+            )
+            continue
+        with ExplorationEngine(workers=w, config=FAST) as engine:
+            t0 = time.perf_counter()
+            records = engine.alpha_exploration(part, alphas)
+            cold = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            records = engine.alpha_exploration(part, alphas)
+            warm = time.perf_counter() - t0
         feasible = sum(1 for r in records if r.feasible)
-        print("  workers=%d: %d/%d feasible in %.2fs" % (w, feasible, len(records), dt))
+        print(
+            "  workers=%d: %d/%d feasible, cold %.2fs, warm %.2fs"
+            % (w, feasible, len(records), cold, warm)
+        )
         out.append(
             {
                 "workers": w,
                 "tasks": len(records),
                 "feasible": feasible,
-                "seconds": round(dt, 4),
+                "cold_seconds": round(cold, 4),
+                "seconds": round(warm, 4),
             }
         )
     return out
@@ -372,6 +503,27 @@ def run_resilience(islands: int = 6, k: int = 1) -> Dict[str, object]:
     return out
 
 
+def previous_comparable_total(history_dir: str, sizes: List[int]) -> Optional[Dict[str, object]]:
+    """Scaling total of the newest archived snapshot with these sizes.
+
+    Feeds the ``speedup_vs_previous`` field: the improvement of this
+    run over the last committed milestone, measured by the same harness
+    on the same sweep shape.  Returns ``None`` when no comparable
+    snapshot exists (fresh checkout, or a different ``--sizes``).
+    """
+    for path in reversed(history_snapshots(history_dir)):
+        try:
+            with open(path) as f:
+                ref = json.load(f)
+            ref_sizes = [r["cores"] for r in ref["runtime_scaling"]["rows"]]
+            total = float(ref["runtime_scaling"]["total_seconds"])
+        except (KeyError, TypeError, ValueError, OSError, json.JSONDecodeError):
+            continue
+        if ref_sizes == sizes:
+            return {"path": os.path.basename(path), "total_seconds": total}
+    return None
+
+
 def archive_snapshot(result: Dict[str, object], history_dir: str) -> str:
     """Append this run to the history directory (one JSON per run)."""
     os.makedirs(history_dir, exist_ok=True)
@@ -480,7 +632,37 @@ def check_regression(
         "regression gate: %s — scaling total %.2fs vs %.2fs in %s (limit %.2fs)"
         % (verdict, cur_total, ref_total, os.path.basename(ref_path), limit)
     )
-    return verdict == "PASS"
+    ok = verdict == "PASS"
+
+    # The kernel section gates too, once a snapshot carries one: the
+    # vector kernel's own total must not regress, independently of the
+    # aggregate sweep (which would hide a vector slip behind an
+    # unrelated speedup elsewhere).
+    try:
+        with open(ref_path) as f:
+            ref = json.load(f)
+        ref_kernel = ref["kernel"]
+        ref_vec = float(ref_kernel["vector"]["total_seconds"])
+        ref_sizes = list(ref_kernel["sizes"])
+        cur_kernel = result["kernel"]
+        cur_vec = float(cur_kernel["vector"]["total_seconds"])
+        cur_ksizes = list(cur_kernel["sizes"])
+    except (KeyError, TypeError, ValueError, OSError, json.JSONDecodeError):
+        print("regression gate: no comparable kernel section, skipping that check")
+        return ok
+    if ref_sizes != cur_ksizes:
+        print(
+            "regression gate: kernel section sizes differ (%s vs %s), skipping"
+            % (ref_sizes, cur_ksizes)
+        )
+        return ok
+    klimit = ref_vec * tolerance
+    kverdict = "PASS" if cur_vec <= klimit else "FAIL"
+    print(
+        "regression gate: %s — vector kernel total %.2fs vs %.2fs (limit %.2fs)"
+        % (kverdict, cur_vec, ref_vec, klimit)
+    )
+    return ok and kverdict == "PASS"
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -556,6 +738,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     print("scaling sweep (cores=%s):" % sizes)
     recorder = PerfRecorder()
     scaling = run_scaling(sizes, recorder)
+    previous = previous_comparable_total(args.history_dir, sizes)
+    if previous is not None:
+        scaling["previous_total_seconds"] = previous["total_seconds"]
+        scaling["previous_snapshot"] = previous["path"]
+        scaling["speedup_vs_previous"] = round(
+            previous["total_seconds"] / max(scaling["total_seconds"], 1e-9), 3
+        )
+        print(
+            "  vs previous snapshot %s: %.2fx"
+            % (previous["path"], scaling["speedup_vs_previous"])
+        )
+    print("kernel comparison (scalar vs vector):")
+    kernel = run_kernel_comparison(sizes)
     print("cache ablation:")
     ablation = run_cache_ablation(max(sizes))
     print("worker scaling:")
@@ -577,6 +772,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "runtime_scaling": scaling,
         "counters": recorder.counters,
         "phase_seconds": {k: round(v, 4) for k, v in recorder.phase_seconds.items()},
+        "kernel": kernel,
         "cache_ablation": ablation,
         "worker_scaling": worker_rows,
         "runtime_shutdown": runtime_shutdown,
@@ -610,7 +806,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             print("not archiving: regression gate failed")
     return 0 if (
-        ablation["identical_points"] and gate_ok and resilience["deterministic"]
+        ablation["identical_points"]
+        and kernel["identical_points"]
+        and gate_ok
+        and resilience["deterministic"]
     ) else 1
 
 

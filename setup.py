@@ -1,10 +1,30 @@
-"""Setup shim for environments without PEP 517 build isolation.
+"""Packaging for the DAC'09 NoC-synthesis reproduction.
 
-All real metadata lives in pyproject.toml; this file only enables
-``pip install -e . --no-use-pep517`` on machines without the ``wheel``
-package (e.g. offline containers).
+The base install is dependency-free on purpose — every algorithm has a
+pure-Python implementation, so the package works in offline containers
+without build isolation (``pip install -e . --no-use-pep517``).
+
+``numpy`` is an *optional* accelerator: ``pip install repro-noc[fast]``
+enables the vector routing kernel's batched frontier
+(:mod:`repro.core.kernel` degrades gracefully to flat-array Python
+walks when it is absent, with byte-identical results).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-noc",
+    version="1.0.0",
+    description=(
+        "Voltage-island-aware NoC topology synthesis (DAC'09 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=[],
+    extras_require={
+        # Optional batched numerics for the vector routing kernel.
+        "fast": ["numpy>=1.22"],
+    },
+    entry_points={"console_scripts": ["repro-noc=repro.cli:main"]},
+)

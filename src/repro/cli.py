@@ -49,6 +49,7 @@ from typing import List, Optional
 from .baseline.checker import compare_shutdown_capability
 from .baseline.flat import synthesize_vi_oblivious
 from .core.explore import ExplorationEngine
+from .core.kernel import KERNEL_CHOICES, KERNEL_ENV_VAR
 from .core.objective import (
     DEFAULT_WAKE_BUDGET_MS,
     OBJECTIVE_NAMES,
@@ -220,6 +221,7 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         allow_intermediate=not args.no_intermediate,
         seed=args.seed,
         objective=objective,
+        kernel=args.kernel,
     )
     space = synthesize(spec, config=config)
     print(
@@ -254,18 +256,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     objective = _objective_for(args, base)
     engine = ExplorationEngine(
         workers=args.workers,
-        config=SynthesisConfig(seed=args.seed),
+        config=SynthesisConfig(seed=args.seed, kernel=args.kernel),
         objective=objective,
     )
-    tasks = [
-        engine.task(
-            _partitioned(args.benchmark, n, strategy),
-            {"islands": n, "strategy": strategy},
-        )
-        for strategy in ("logical", "communication")
-        for n in counts
-    ]
-    rows = [r.row() for r in engine.run(tasks)]
+    with engine:
+        tasks = [
+            engine.task(
+                _partitioned(args.benchmark, n, strategy),
+                {"islands": n, "strategy": strategy},
+            )
+            for strategy in ("logical", "communication")
+            for n in counts
+        ]
+        rows = [r.row() for r in engine.run(tasks)]
     print(
         format_table(
             rows,
@@ -466,6 +469,12 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_synth)
     p_synth.add_argument("--alpha", type=float, default=0.6, help="VCG weight alpha")
     p_synth.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default="auto",
+        help="routing kernel (auto resolves via $%s, default vector)" % KERNEL_ENV_VAR,
+    )
+    p_synth.add_argument(
         "--no-intermediate", action="store_true", help="forbid the intermediate NoC island"
     )
     p_synth.add_argument("--dot", help="write best topology as Graphviz DOT")
@@ -484,6 +493,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--csv", help="also write rows as CSV")
     p_sweep.add_argument(
         "--workers", type=int, default=1, help="parallel synthesis workers"
+    )
+    p_sweep.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default="auto",
+        help="routing kernel (auto resolves via $%s, default vector)" % KERNEL_ENV_VAR,
     )
     _add_objective_args(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)

@@ -8,11 +8,18 @@ so benches, examples and notebooks share one implementation instead of
 re-rolling loops.
 
 Sweep points are independent synthesis runs, so :class:`ExplorationEngine`
-can fan them out across a :class:`~concurrent.futures.ProcessPoolExecutor`
-worker pool (``workers > 1``); results come back in submission order, so
-parallel and serial sweeps produce identical record lists.  The
-module-level sweep functions are thin wrappers over a default engine and
-accept the same ``workers`` knob.
+can fan them out across a *persistent* worker pool (``workers > 1``):
+the :class:`~concurrent.futures.ProcessPoolExecutor` is created once,
+its initializer installs the sweep-invariant context (the distinct
+specs, base library/config, selector) in each worker — shared for free
+via copy-on-write under the ``fork`` start method, shipped once per
+worker otherwise — and each task then travels as a small descriptor
+(spec index, knob labels, config/library field diffs) instead of a full
+pickled :class:`SweepTask`.  Results come back in submission order, so
+parallel and serial sweeps produce identical record lists; ``workers=1``
+never touches the pool machinery at all.  The module-level sweep
+functions are thin wrappers over a default engine and accept the same
+``workers`` knob.
 """
 
 from __future__ import annotations
@@ -160,6 +167,104 @@ def _execute_task(task: SweepTask) -> SweepRecord:
     return _run_one(task.spec, task.library, task.config, task.knobs, task.select)
 
 
+# ----------------------------------------------------------------------
+# Persistent worker pool plumbing
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _TaskDescriptor:
+    """Slim wire format of one pool task.
+
+    The sweep-invariant context (specs, base library/config, selector)
+    lives in the worker already (see :func:`_pool_init`); a descriptor
+    carries only what differs for this task: the spec's index into the
+    shared spec table, the knob labels, and either a field diff against
+    the base config/library (reconstructed with ``dataclasses.replace``)
+    or — when a diff cannot represent the change — the full object.
+    At most one of ``config_diff`` / ``config_full`` is set; both
+    ``None`` means "use the base" (same for the library and selector).
+    """
+
+    spec_index: int
+    knobs: Mapping[str, object]
+    config_diff: Optional[Mapping[str, object]] = None
+    config_full: Optional[SynthesisConfig] = None
+    library_diff: Optional[Mapping[str, object]] = None
+    library_full: Optional[NocLibrary] = None
+    select: Optional[Callable[[DesignSpace], DesignPoint]] = None
+
+
+#: Per-worker sweep context installed by :func:`_pool_init`:
+#: ``(specs, base_library, base_config, base_select)``.
+_WORKER_CONTEXT: Optional[tuple] = None
+
+
+def _pool_init(
+    specs: Sequence[SoCSpec],
+    library: NocLibrary,
+    config: SynthesisConfig,
+    select: Callable[[DesignSpace], DesignPoint],
+) -> None:
+    """Worker initializer: install the shared read-only sweep context.
+
+    Runs once per worker process at pool start-up; under the ``fork``
+    start method the argument pickle is the only per-worker cost and the
+    large objects behind it stay copy-on-write shared with the parent.
+    """
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = (list(specs), library, config, select)
+
+
+def _execute_descriptor(desc: _TaskDescriptor) -> SweepRecord:
+    """Rehydrate a descriptor against the worker context and run it."""
+    assert _WORKER_CONTEXT is not None, "worker pool not initialized"
+    specs, base_library, base_config, base_select = _WORKER_CONTEXT
+    spec = specs[desc.spec_index]
+    config = base_config
+    if desc.config_full is not None:
+        config = desc.config_full
+    elif desc.config_diff:
+        config = dataclasses.replace(base_config, **dict(desc.config_diff))
+    library = base_library
+    if desc.library_full is not None:
+        library = desc.library_full
+    elif desc.library_diff:
+        library = dataclasses.replace(base_library, **dict(desc.library_diff))
+    select = desc.select if desc.select is not None else base_select
+    return _run_one(spec, library, config, desc.knobs, select)
+
+
+def _dataclass_diff(base: object, value: object):
+    """``(diff, full)`` decomposition of ``value`` against ``base``.
+
+    Returns a field-name -> value dict of the init fields that differ
+    (possibly empty, meaning ``value`` equals ``base``) and ``None``,
+    or ``(None, value)`` when no faithful diff exists (different types,
+    a differing non-init field, or a comparison that refuses) and the
+    full object must ship instead.
+    """
+    if value is base:
+        return {}, None
+    if type(value) is not type(base) or not dataclasses.is_dataclass(base):
+        return None, value
+    diff: Dict[str, object] = {}
+    for f in dataclasses.fields(base):  # type: ignore[arg-type]
+        a = getattr(base, f.name)
+        b = getattr(value, f.name)
+        if a is b:
+            continue
+        try:
+            if bool(a == b):
+                continue
+        except Exception:
+            return None, value
+        if not f.init:
+            return None, value
+        diff[f.name] = b
+    return diff, None
+
+
 def pareto_merge(records: Sequence[SweepRecord]) -> List[SweepRecord]:
     """Non-dominated feasible records in the (power, latency) plane.
 
@@ -195,17 +300,26 @@ def pareto_merge(records: Sequence[SweepRecord]) -> List[SweepRecord]:
 
 
 class ExplorationEngine:
-    """Executes sweep tasks serially or across a process worker pool.
+    """Executes sweep tasks serially or across a persistent worker pool.
 
     ``workers=1`` (the default) runs every task inline — no pool, no
     pickling requirements, identical to the historical serial loops.
-    ``workers>1`` fans tasks out to a
-    :class:`~concurrent.futures.ProcessPoolExecutor`; each synthesis
-    run is independent (no shared caches), and results are collected in
-    submission order so the returned records match the serial run
-    element for element.  With a pool, task fields — including a custom
-    ``select`` — must be picklable (module-level functions; lambdas
-    only work serially).
+    ``workers>1`` fans tasks out to a persistent
+    :class:`~concurrent.futures.ProcessPoolExecutor`: the pool is
+    created lazily on the first parallel :meth:`run`, seeds every
+    worker with the sweep-invariant context (the distinct specs, base
+    library/config, selector) via its initializer, and is then reused
+    by subsequent runs over the same context — repeated sweeps pay the
+    worker start-up cost once, and each task crosses the process
+    boundary as a :class:`_TaskDescriptor` of a few small fields.
+    Results are collected in submission order so the returned records
+    match the serial run element for element.  With a pool, task fields
+    — including a custom ``select`` — must be picklable (module-level
+    functions; lambdas only work serially).
+
+    The engine owns the pool: call :meth:`close` (or use the engine as
+    a context manager) to release the worker processes; a dropped
+    engine cleans up on garbage collection as a fallback.
 
     The engine carries the sweep-invariant context (library, base
     config, selector) so call sites only name the knob values.
@@ -233,6 +347,62 @@ class ExplorationEngine:
             select = ObjectiveSelector(objective)
         self.select = select
         self.objective = objective
+        self._pool: Optional[ProcessPoolExecutor] = None
+        #: Context the live pool was initialized with — identity key
+        #: plus strong references that keep the ``id()`` values stable.
+        self._pool_key: Optional[tuple] = None
+        self._pool_refs: tuple = ()
+
+    # -- pool lifecycle ------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; serial engines no-op)."""
+        pool, self._pool = self._pool, None
+        self._pool_key = None
+        self._pool_refs = ()
+        if pool is not None:
+            pool.shutdown()
+
+    def __enter__(self) -> "ExplorationEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _ensure_pool(self, specs: Sequence[SoCSpec]) -> ProcessPoolExecutor:
+        """The persistent pool, (re)created when the context changes.
+
+        The context key is identity-based (the spec objects and the
+        engine's library/config/selector); the engine holds strong
+        references to the keyed objects so the ids cannot be recycled
+        while the pool lives.  Re-running the same sweep — the common
+        case for benchmarks and iterative exploration — reuses the
+        warm pool and ships only descriptors.
+        """
+        key = (
+            self.workers,
+            id(self.library),
+            id(self.config),
+            id(self.select),
+            tuple(id(s) for s in specs),
+        )
+        if self._pool is not None and self._pool_key == key:
+            return self._pool
+        self.close()
+        self._pool_refs = (self.library, self.config, self.select, tuple(specs))
+        self._pool_key = key
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_pool_init,
+            initargs=(tuple(specs), self.library, self.config, self.select),
+        )
+        return self._pool
 
     # -- execution -----------------------------------------------------
 
@@ -241,8 +411,36 @@ class ExplorationEngine:
         tasks = list(tasks)
         if self.workers == 1 or len(tasks) <= 1:
             return [_execute_task(t) for t in tasks]
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            return list(pool.map(_execute_task, tasks, chunksize=1))
+        specs: List[SoCSpec] = []
+        spec_index: Dict[int, int] = {}
+        descriptors: List[_TaskDescriptor] = []
+        for t in tasks:
+            i = spec_index.get(id(t.spec))
+            if i is None:
+                i = len(specs)
+                spec_index[id(t.spec)] = i
+                specs.append(t.spec)
+            cfg_diff, cfg_full = _dataclass_diff(self.config, t.config)
+            lib_diff, lib_full = _dataclass_diff(self.library, t.library)
+            descriptors.append(
+                _TaskDescriptor(
+                    spec_index=i,
+                    knobs=dict(t.knobs),
+                    config_diff=cfg_diff or None,
+                    config_full=cfg_full,
+                    library_diff=lib_diff or None,
+                    library_full=lib_full,
+                    select=None if t.select is self.select else t.select,
+                )
+            )
+        pool = self._ensure_pool(specs)
+        try:
+            return list(pool.map(_execute_descriptor, descriptors, chunksize=1))
+        except Exception:
+            # A broken pool (worker crash, unpicklable payload) stays
+            # broken; drop it so the next run starts clean.
+            self.close()
+            raise
 
     def task(
         self,
@@ -496,8 +694,8 @@ def runtime_exploration(
     workers: int = 1,
 ) -> List[SweepRecord]:
     """Module-level wrapper over :meth:`ExplorationEngine.runtime_exploration`."""
-    engine = ExplorationEngine(workers, library, config)
-    return engine.runtime_exploration(spec, counts, trace, strategies, policy, model)
+    with ExplorationEngine(workers, library, config) as engine:
+        return engine.runtime_exploration(spec, counts, trace, strategies, policy, model)
 
 
 def _strategy_fn(strategy: str) -> Callable[[SoCSpec, int], SoCSpec]:
@@ -524,8 +722,8 @@ def island_count_exploration(
     objective: Optional[Objective] = None,
 ) -> List[SweepRecord]:
     """The Figures 2/3 sweep: island count x assignment strategy."""
-    engine = ExplorationEngine(workers, library, config, select, objective)
-    return engine.island_count_exploration(spec, counts, strategies)
+    with ExplorationEngine(workers, library, config, select, objective) as engine:
+        return engine.island_count_exploration(spec, counts, strategies)
 
 
 def alpha_exploration(
@@ -538,8 +736,8 @@ def alpha_exploration(
     objective: Optional[Objective] = None,
 ) -> List[SweepRecord]:
     """Sweep the Definition-1 weight between bandwidth and latency."""
-    engine = ExplorationEngine(workers, library, config, select, objective)
-    return engine.alpha_exploration(spec, alphas)
+    with ExplorationEngine(workers, library, config, select, objective) as engine:
+        return engine.alpha_exploration(spec, alphas)
 
 
 def data_width_exploration(
@@ -552,8 +750,8 @@ def data_width_exploration(
     objective: Optional[Objective] = None,
 ) -> List[SweepRecord]:
     """Sweep the NoC link data width ("could be varied in a range")."""
-    engine = ExplorationEngine(workers, library, config, select, objective)
-    return engine.data_width_exploration(spec, widths)
+    with ExplorationEngine(workers, library, config, select, objective) as engine:
+        return engine.data_width_exploration(spec, widths)
 
 
 def grid_exploration(
@@ -569,8 +767,8 @@ def grid_exploration(
     objective: Optional[Objective] = None,
 ) -> GridResult:
     """Cross-product sweep over island/strategy/alpha/width knobs."""
-    engine = ExplorationEngine(workers, library, config, select, objective)
-    return engine.grid_exploration(spec, islands, strategies, alphas, widths)
+    with ExplorationEngine(workers, library, config, select, objective) as engine:
+        return engine.grid_exploration(spec, islands, strategies, alphas, widths)
 
 
 def pareto_records(space: DesignSpace) -> List[Dict[str, object]]:

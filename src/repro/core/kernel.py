@@ -1,0 +1,77 @@
+"""Routing-kernel selection: ``auto`` / ``vector`` / ``scalar``.
+
+The Algorithm-1 hot path has two interchangeable implementations (see
+:mod:`repro.core.paths`):
+
+* ``scalar`` — the historical per-edge Python loop, kept byte-for-byte
+  as the reference implementation;
+* ``vector`` — the batched, array-backed kernel: a provable
+  direct-open dominance shortcut that answers most searches in O(1),
+  plus whole-frontier edge-cost evaluation over flat arrays
+  (``numpy`` when importable, a pure-Python flat-array walk
+  otherwise).  Produces byte-identical design points, routes and
+  objective costs (pinned by ``tests/test_kernel_parity.py``).
+
+``auto`` resolves to ``vector`` — the fallback path keeps it correct
+without numpy — unless the ``REPRO_KERNEL`` environment variable names
+an explicit kernel (the CI matrix uses this to force each
+implementation across the whole test suite without touching configs).
+
+numpy is an *optional* dependency (the ``repro[fast]`` extra): every
+import in the package goes through :data:`HAVE_NUMPY` /
+:func:`numpy_or_none` so the base install stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..exceptions import SpecError
+
+#: Valid values of the ``kernel`` knob everywhere it appears
+#: (SynthesisConfig, PathAllocator, ExplorationEngine, CLI).
+KERNEL_CHOICES = ("auto", "vector", "scalar")
+
+#: Environment override consulted when the configured kernel is
+#: ``auto`` (used by the CI matrix to force one implementation).
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+try:  # pragma: no cover - exercised via the no-numpy CI leg
+    import numpy as _np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    _np = None
+    HAVE_NUMPY = False
+
+
+def numpy_or_none():
+    """The ``numpy`` module when importable, else ``None``.
+
+    Callers branch on the return value instead of re-importing, so the
+    import cost (and the absence handling) lives in one place.
+    """
+    return _np
+
+
+def resolve_kernel(kernel: str = "auto") -> str:
+    """Resolve a kernel knob value to a concrete implementation name.
+
+    ``auto`` honours :data:`KERNEL_ENV_VAR` when it names a concrete
+    kernel and otherwise picks ``vector`` (which internally falls back
+    to pure-Python array walks when numpy is absent — the choice is
+    about the algorithm, not the numerics backend).  Explicit
+    ``vector`` / ``scalar`` values pass through untouched, so a config
+    pin always beats the environment.
+    """
+    if kernel not in KERNEL_CHOICES:
+        raise SpecError(
+            "unknown kernel %r (choose from %s)" % (kernel, ", ".join(KERNEL_CHOICES))
+        )
+    if kernel == "auto":
+        env = os.environ.get(KERNEL_ENV_VAR, "").strip().lower()
+        if env in ("vector", "scalar"):
+            return env
+        return "vector"
+    return kernel

@@ -216,6 +216,7 @@ def _bisect(
             "bisection target %d out of range for %d nodes" % (target_left, n)
         )
     order = sorted(nodes, key=lambda u: (-_strength(adj, u), str(u)))
+    order_ix = {u: i for i, u in enumerate(order)}
     seed_node = order[0]
     left: Set[Node] = {seed_node}
     # Greedy weighted growth.
@@ -226,7 +227,7 @@ def _bisect(
         candidates = [u for u in nodes if u not in left]
         if not candidates:
             break
-        best = max(candidates, key=lambda u: (gain.get(u, 0.0), -_index_of(order, u)))
+        best = max(candidates, key=lambda u: (gain.get(u, 0.0), -order_ix[u]))
         left.add(best)
         for v, w in adj[best].items():
             if v not in left:
@@ -235,10 +236,6 @@ def _bisect(
     right = set(nodes) - left
     left, right = _fm_refine(nodes, adj, left, right, target_left, rng)
     return left, right
-
-
-def _index_of(order: List[Node], u: Node) -> int:
-    return order.index(u)
 
 
 def _strength(adj: Adjacency, u: Node) -> float:
@@ -268,82 +265,90 @@ def _fm_refine(
     n = len(nodes)
     lo = max(1, target_left - balance_slack)
     hi = min(n - 1, target_left + balance_slack)
-    # The deterministic tie-break compares node string forms; build
-    # them once instead of twice per candidate per selection round.
-    skey = {u: str(u) for u in nodes}
+    # Int-indexed mirrors of the graph: the pass below runs the gain /
+    # lock / best-prefix loop over flat lists instead of hashing nodes.
+    # Neighbour lists keep adjacency dict order, so every float
+    # accumulates in the historical order; the deterministic string
+    # tie-break becomes a precomputed rank (the stable sort leaves
+    # equal strings in scan order, which reproduces the strict ``<``
+    # comparison on string forms exactly).
+    ix = {u: i for i, u in enumerate(nodes)}
+    nbrs: List[List[Tuple[int, float]]] = [
+        [(ix[v], w) for v, w in adj[u].items()] for u in nodes
+    ]
+    srank = [0] * n
+    for r, i in enumerate(sorted(range(n), key=lambda i: str(nodes[i]))):
+        srank[i] = r
+    in_left = [u in left for u in nodes]  # committed sides
 
     for _ in range(max_passes):
-        L = set(left)
-        R = set(right)
-        locked: Set[Node] = set()
+        side = in_left[:]  # tentative sides for this pass
+        len_l = sum(side)
+        locked = [False] * n
+        n_locked = 0
         # gain(u) = (external weight) - (internal weight)
-        gains: Dict[Node, float] = {}
-        for u in nodes:
+        gains = [0.0] * n
+        for i in range(n):
             internal = external = 0.0
-            u_left = u in L
-            for v, w in adj[u].items():
-                if (v in L) == u_left:
+            u_left = side[i]
+            for j, w in nbrs[i]:
+                if side[j] == u_left:
                     internal += w
                 else:
                     external += w
-            gains[u] = external - internal
-        moves: List[Node] = []
+            gains[i] = external - internal
+        moves: List[int] = []
         cum_gain: List[float] = []
         total = 0.0
-        while len(locked) < n:
-            best_u = None
+        while n_locked < n:
+            best_i = -1
             best_gain = -math.inf
-            best_key = ""
-            len_l = len(L)
-            for u in nodes:
-                if u in locked:
+            best_rank = -1
+            for i in range(n):
+                if locked[i]:
                     continue
-                new_left_size = len_l + (1 if u in R else -1)
-                if not (lo <= new_left_size <= hi):
+                new_left_size = len_l + (-1 if side[i] else 1)
+                if new_left_size < lo or new_left_size > hi:
                     continue
-                g = gains[u]
-                if g > best_gain or (g == best_gain and skey[u] < best_key):
+                g = gains[i]
+                if g > best_gain or (g == best_gain and srank[i] < best_rank):
                     best_gain = g
-                    best_u = u
-                    best_key = skey[u]
-            if best_u is None:
+                    best_i = i
+                    best_rank = srank[i]
+            if best_i < 0:
                 break
             # Apply the tentative move and update neighbour gains.
-            u = best_u
-            if u in L:
-                L.remove(u)
-                R.add(u)
+            i = best_i
+            if side[i]:
+                side[i] = False
+                len_l -= 1
             else:
-                R.remove(u)
-                L.add(u)
-            locked.add(u)
-            total += gains[u]
-            moves.append(u)
+                side[i] = True
+                len_l += 1
+            locked[i] = True
+            n_locked += 1
+            total += gains[i]
+            moves.append(i)
             cum_gain.append(total)
-            gains[u] = -gains[u]
-            u_left = u in L
-            for v, w in adj[u].items():
-                if v in locked:
+            gains[i] = -gains[i]
+            u_left = side[i]
+            for j, w in nbrs[i]:
+                if locked[j]:
                     continue
-                if (v in L) == u_left:
-                    gains[v] -= 2 * w
+                if side[j] == u_left:
+                    gains[j] -= 2 * w
                 else:
-                    gains[v] += 2 * w
+                    gains[j] += 2 * w
         if not moves:
             break
         best_prefix = max(range(len(moves)), key=lambda i: (cum_gain[i], -i))
         if cum_gain[best_prefix] <= 1e-12:
             break  # no improving prefix: converged
         # Commit moves[0..best_prefix] starting from the original sides.
-        L2, R2 = set(left), set(right)
-        for u in moves[: best_prefix + 1]:
-            if u in L2:
-                L2.remove(u)
-                R2.add(u)
-            else:
-                R2.remove(u)
-                L2.add(u)
-        left, right = L2, R2
+        for m in moves[: best_prefix + 1]:
+            in_left[m] = not in_left[m]
+    left = {nodes[i] for i in range(n) if in_left[i]}
+    right = {nodes[i] for i in range(n) if not in_left[i]}
     # Restore the exact target size if slack left us off-target: move
     # the cheapest boundary nodes.
     left, right = _rebalance(adj, left, right, target_left)

@@ -55,6 +55,26 @@ loop is engineered around five observations:
 Cached and uncached (``use_cache=False``) runs share one cost
 implementation, so they produce byte-identical allocations; the cache
 only changes how often the arithmetic re-runs.
+
+Routing kernels
+---------------
+On top of the fast path sit two interchangeable search kernels,
+selected by the ``kernel`` knob (see :mod:`repro.core.kernel`):
+
+* ``scalar`` — the historical per-edge Python loop above, always used
+  in reference mode (``use_cache=False``);
+* ``vector`` — the batched array kernel: an O(1) **direct-open
+  dominance shortcut** (when opening the direct link provably costs no
+  more than any two cheapest-possible edges, the whole search is
+  skipped; see :meth:`PathAllocator._direct_open_shortcut` for the
+  proof obligations) and, on graphs of at least
+  :data:`VECTOR_MIN_SWITCHES` switches with numpy importable, a
+  whole-frontier edge-cost evaluation over flat CSR-style arrays.
+
+Both kernels produce byte-identical design points, routes and
+objective costs — the vector arithmetic replicates the scalar float
+operation order term for term, and ties still resolve through the
+sorted-id-rank heap order.
 """
 
 from __future__ import annotations
@@ -76,6 +96,7 @@ from ..exceptions import SynthesisError
 from ..perf.instrument import active_recorder
 from ..power.library import NocLibrary
 from .frequency import IslandPlan, intermediate_island_freq_mhz
+from .kernel import numpy_or_none, resolve_kernel
 from .spec import SoCSpec, TrafficFlow
 
 
@@ -127,6 +148,15 @@ class AllocationResult:
 _REUSE = "reuse"
 _OPEN = "open"
 
+#: Minimum switch count before the vector kernel routes a search
+#: through the numpy whole-frontier evaluation.  Below this, frontiers
+#: are narrow enough that numpy's fixed per-expression dispatch cost
+#: loses to the scalar loop (measured crossover sits well above the
+#: 40-switch benchmark graphs); the O(1) direct-open shortcut carries
+#: the win instead.  Module level so the parity tests can force the
+#: batched path on tiny graphs.
+VECTOR_MIN_SWITCHES = 48
+
 
 def allocate_paths(
     spec: SoCSpec,
@@ -136,6 +166,7 @@ def allocate_paths(
     num_intermediate: int = 0,
     cost_config: Optional[PathCostConfig] = None,
     use_cache: bool = True,
+    kernel: str = "auto",
 ) -> AllocationResult:
     """Build a topology for one design point and route every flow.
 
@@ -170,9 +201,13 @@ def allocate_paths(
     use_cache:
         Enable the scaffold-clone and edge-cost memoization fast path
         (identical results either way).
+    kernel:
+        Routing-kernel selection (``auto`` / ``vector`` / ``scalar``,
+        see :mod:`repro.core.kernel`); identical results either way.
     """
     allocator = PathAllocator(
-        spec, library, plans, partitions, cost_config, use_cache=use_cache
+        spec, library, plans, partitions, cost_config, use_cache=use_cache,
+        kernel=kernel,
     )
     return allocator.allocate(num_intermediate)
 
@@ -446,6 +481,7 @@ class PathAllocator:
         partitions: Mapping[int, Sequence[Set[str]]],
         cost_config: Optional[PathCostConfig] = None,
         use_cache: bool = True,
+        kernel: str = "auto",
     ) -> None:
         self.spec = spec
         self.library = library
@@ -453,6 +489,10 @@ class PathAllocator:
         self.partitions = partitions
         self.cfg = cost_config or PathCostConfig()
         self.use_cache = use_cache
+        # Reference mode pins the scalar kernel: cached runs default to
+        # the vector kernel, so every cached-vs-uncached determinism
+        # test doubles as a scalar-vs-vector parity check.
+        self.kernel = resolve_kernel(kernel) if use_cache else "scalar"
 
         self._base_freqs: Dict[int, float] = {
             isl: plan.freq_mhz for isl, plan in plans.items()
@@ -514,6 +554,17 @@ class PathAllocator:
         # attempts), so one build serves every clone with the same
         # intermediate count.
         self._adj_store: Dict[Tuple[int, int, int], List[Optional[tuple]]] = {}
+        # Vector-kernel mirrors of the same candidate adjacency, lowered
+        # to flat numpy arrays (one CSR-style row per popped switch):
+        # successor indices, crossing/reserve masks, size bounds, link
+        # capacity, and the attempt-invariant pieces of the static-open
+        # and traffic-e_bit cost terms.  Same keying and lifetime as
+        # _adj_store.
+        self._vec_store: Dict[Tuple[int, int, int], tuple] = {}
+        # Direct-open dominance bound of the vector kernel, computed
+        # lazily once per allocator: (enabled, e_bit floor, static
+        # floor, intra/cross e_bit floors).  See _direct_open_bound.
+        self._shortcut_bound: Optional[Tuple[bool, float, float, float, float]] = None
         # Dijkstra tie-break tables per switch count: heap entries carry
         # the switch's rank in sorted-id order, which reproduces the
         # historical (cost, switch_id) string comparison exactly.
@@ -543,6 +594,14 @@ class PathAllocator:
         self._scaffold_builds = 0
         self._cache_hits = 0
         self._cache_misses = 0
+        # Vector-kernel counters: searches answered by the O(1)
+        # direct-open shortcut, and pops/edges that went through the
+        # batched numpy frontier instead of the scalar loop
+        # (vector_edges is also included in edge_evals, so the ratio
+        # batched/total is directly readable from one snapshot).
+        self._shortcuts = 0
+        self._vec_pops = 0
+        self._vec_edges = 0
 
     @classmethod
     def for_topology(
@@ -550,6 +609,7 @@ class PathAllocator:
         topology: Topology,
         cost_config: Optional[PathCostConfig] = None,
         use_cache: bool = True,
+        kernel: str = "auto",
     ) -> "PathAllocator":
         """An allocator view over an already-routed topology.
 
@@ -573,6 +633,7 @@ class PathAllocator:
         self.partitions = {}
         self.cfg = cost_config or PathCostConfig()
         self.use_cache = use_cache
+        self.kernel = resolve_kernel(kernel) if use_cache else "scalar"
         self._base_freqs = {
             isl: f
             for isl, f in topology.island_freqs.items()
@@ -837,6 +898,22 @@ class PathAllocator:
         # term non-negative; an exotic negative open weight could make
         # opening a parallel link beat reusing an existing one.
         open_weight_ok = cfg.open_cost_weight >= 0.0
+        # Vector kernel: the O(1) direct-open shortcut plus, on graphs
+        # large enough to amortize numpy dispatch, whole-frontier edge
+        # evaluation over the flat-array attempt state.
+        shortcut_on = False
+        bound: Tuple[float, ...] = ()
+        vec: Optional[list] = None
+        # Outgoing pair keys per source index (subset view of
+        # pair_links), so the shortcut's "could the first edge of an
+        # alternative path reuse a link?" probe is O(out-degree).
+        out_keys: Dict[int, List[int]] = {}
+        if self.kernel == "vector":
+            bound = self._direct_open_bound()
+            shortcut_on = bound[0]
+            np_mod = numpy_or_none()
+            if np_mod is not None and n >= VECTOR_MIN_SWITCHES:
+                vec = self._vec_attempt_state(np_mod, sw_list, n)
         links_opened = 0
         via_mid = 0
         for (
@@ -871,10 +948,24 @@ class PathAllocator:
                                 + (lat_cross_cycles if crossing else lat_intra_cycles),
                             )
                             break
+                # Direct-open dominance shortcut (vector kernel): when
+                # opening the direct src->dst link is provably at most
+                # the cost of any two cheapest-possible edges, no
+                # multi-hop alternative can beat it and the search is
+                # answered in O(1).  Same non-negativity guard as the
+                # reuse shortcut above.
+                if found is None and shortcut_on:
+                    found = self._direct_open_shortcut(
+                        topo, sw_list, n, pair_links, out_keys, flow,
+                        src_i, dst_i, lat_cost_intra, lat_cost_cross,
+                        port_reserve, bound, sw_cycles,
+                        lat_intra_cycles, lat_cross_cycles,
+                    )
             if found is None:
                 found = self._search(
                     topo, sw_list, n, adj_store, ranks, use_memo, pair_links,
                     flow, src_i, dst_i, lat_cost_intra, lat_cost_cross, port_reserve,
+                    vec=vec,
                 )
             if found is None:
                 return AllocationResult(
@@ -917,6 +1008,11 @@ class PathAllocator:
                     lst = pair_links.get(key)
                     if lst is None:
                         pair_links[key] = [link]
+                        ok = out_keys.get(ui)
+                        if ok is None:
+                            out_keys[ui] = [key]
+                        else:
+                            ok.append(key)
                     else:
                         lst.append(link)
                 link_ids.append(link.id)
@@ -927,6 +1023,8 @@ class PathAllocator:
             # enforced capacity and continuity); the per-point
             # validate_topology pass still audits the final result.
             topo.assign_route(flow, link_ids, validate=False)
+            if vec is not None:
+                self._vec_update(vec, sw_list, n, pair_links, hops)
             if touched_mid:
                 via_mid += 1
 
@@ -938,6 +1036,600 @@ class PathAllocator:
             links_opened=links_opened,
             flows_via_intermediate=via_mid,
         )
+
+    # -- vector kernel -------------------------------------------------
+
+    def _direct_open_bound(self) -> Tuple[bool, float, float, float, float]:
+        """Direct-open shortcut soundness plus its e_bit and static floors.
+
+        The shortcut's dominance argument compares the direct open cost
+        against a two-edge lower bound.  That bound is only valid when
+        every cost term is non-negative (each library parameter feeding
+        the static and traffic terms, plus the open weight) so that a
+        path's cost is monotone in its edge count; any exotic negative
+        parameter disables the shortcut and the full search runs
+        instead.  The e_bit floors are the smallest traffic
+        energy-per-bit an edge of each kind can carry — the cheapest
+        switch crossbar (2 ports; the per-port term is non-negative
+        here) plus the intra-island wire, or the cross-island wire with
+        its converter — returned per kind (intra, cross) plus their
+        minimum, so the shortcut can charge a crossing flow's
+        alternative for the island crossing it cannot avoid.  The
+        static floor is the smallest static cost
+        any *open* edge can pay — the minimum over every ordered island
+        pair (intermediate included, so the floor is valid in every
+        attempt of the intermediate-count sweep) of the non-fresh
+        :func:`_edge_static_open_cost` value.  Freshness only *adds*
+        non-negative terms mid-accumulation, and float addition of a
+        non-negative value is monotone, so the non-fresh float value
+        lower-bounds every real edge's static cost.
+        """
+        bound = self._shortcut_bound
+        if bound is None:
+            lib = self.library
+            cfg = self.cfg
+            sound = (
+                lib.switch_idle_mw_per_mhz_per_port >= 0.0
+                and lib.switch_idle_mw_per_mhz_base >= 0.0
+                and lib.switch_leak_mw_per_port >= 0.0
+                and lib.switch_leak_mw_base >= 0.0
+                and lib.link_leak_mw_per_mm >= 0.0
+                and lib.fifo_idle_mw_per_mhz >= 0.0
+                and lib.fifo_leak_mw >= 0.0
+                and lib.switch_ebit_base_pj >= 0.0
+                and lib.switch_ebit_per_port_pj >= 0.0
+                and lib.link_ebit_per_mm_pj >= 0.0
+                and lib.fifo_ebit_pj >= 0.0
+                and cfg.nominal_intra_link_mm >= 0.0
+                and cfg.nominal_cross_link_mm >= 0.0
+                and cfg.open_cost_weight >= 0.0
+            )
+            if sound:
+                # Per-kind e_bit floors, accumulated in the exact order
+                # _edge_traffic_ebit uses (wire, then crossbar, then
+                # converter) so float monotonicity makes every real
+                # edge's e_bit >= its kind's floor.
+                intra_floor = lib.link_ebit_pj(cfg.nominal_intra_link_mm)
+                intra_floor += lib.switch_ebit_pj(1, 1)
+                cross_floor = lib.link_ebit_pj(cfg.nominal_cross_link_mm)
+                cross_floor += lib.switch_ebit_pj(1, 1)
+                cross_floor += lib.fifo_ebit_pj
+                any_floor = intra_floor if intra_floor < cross_floor else cross_floor
+                # Mirrors _edge_static_open_cost for non-fresh endpoints,
+                # accumulated in the same order so each float value
+                # equals what the real cost function would produce.
+                freqs = dict(self._base_freqs)
+                freqs[INTERMEDIATE_ISLAND] = self._mid_freq
+                static_floor = None
+                for ia, fa in freqs.items():
+                    for ib, fb in freqs.items():
+                        crossing = ia != ib
+                        length = (
+                            cfg.nominal_cross_link_mm
+                            if crossing
+                            else cfg.nominal_intra_link_mm
+                        )
+                        s = lib.switch_idle_mw_per_mhz_per_port * (fa + fb)
+                        s += 2.0 * lib.switch_leak_mw_per_port
+                        s += lib.link_leakage_mw(length)
+                        if crossing:
+                            s += lib.fifo_idle_power_mw(fa, fb) + lib.fifo_leakage_mw()
+                        if static_floor is None or s < static_floor:
+                            static_floor = s
+                if static_floor is None or static_floor < 0.0:
+                    static_floor = 0.0
+                bound = (True, any_floor, static_floor, intra_floor, cross_floor)
+            else:
+                bound = (False, 0.0, 0.0, 0.0, 0.0)
+            self._shortcut_bound = bound
+        return bound
+
+    def _direct_open_shortcut(
+        self,
+        topo: Topology,
+        sw_list: List[Switch],
+        n: int,
+        pair_links: Dict[int, List[Link]],
+        out_keys: Dict[int, List[int]],
+        flow: TrafficFlow,
+        src_i: int,
+        dst_i: int,
+        lat_cost_intra: float,
+        lat_cost_cross: float,
+        port_reserve: int,
+        bound: Tuple[float, ...],
+        sw_cycles: int,
+        lat_intra_cycles: int,
+        lat_cross_cycles: int,
+    ) -> Optional[Tuple[List[Tuple[int, int, str, Optional[Link]]], int]]:
+        """O(1) answer when opening the direct link is provably optimal.
+
+        Every alternative to the direct ``src -> dst`` open has at
+        least two edges (the caller already established there is no
+        reusable direct link), and — with the non-negativity guarantees
+        of :meth:`_direct_open_bound` — each edge costs at least
+        ``LB = bits/s * e_bit_floor + min(latency terms)``.  Two
+        O(out-degree) probes over ``out_keys`` tighten that further:
+        unless some reusable ``src -> w`` link leads to a reusable
+        ``w -> dst`` link (a possible two-edge all-reuse path), every
+        alternative either opens a link somewhere — paying
+        ``open_weight * static_floor`` on top of ``2 * LB`` — or
+        reuses only and needs at least three edges (``3 * LB``).  So
+        whenever the exact direct open cost is at most the applicable
+        floor, the search would relax the destination to exactly this
+        cost at the first pop and never improve on it (relaxation
+        requires a strict ``1e-12`` win, so ties keep the direct edge).
+        The argument holds in *any* supergraph, intermediate switches
+        included — the floors minimize over the intermediate island too
+        — which is why a skipped search cannot hide evidence the
+        intermediate-dominance skip would have needed: a flow answered
+        here routes identically at every intermediate count.
+
+        Feasibility (port limits, reserve, capacity, the parallel-link
+        policy) and the cost floats mirror the open branch of
+        :meth:`_search` exactly; infeasibility or a failed bound falls
+        back to the full search.
+        """
+        cfg = self.cfg
+        existing = pair_links.get(src_i * n + dst_i)
+        if existing and not cfg.allow_parallel_links:
+            return None
+        u = sw_list[src_i]
+        v = sw_list[dst_i]
+        u_new_out = u.n_out + 1
+        if u.n_in > u_new_out:
+            u_new_out = u.n_in
+        new_v = v.n_in + 1
+        if v.n_out > new_v:
+            new_v = v.n_out
+        crossing = u.island != v.island
+        lim_u = self._max_sizes[u.island]
+        lim_v = self._max_sizes[v.island]
+        # Flow endpoints are core switches, never intermediate, so the
+        # reserve applies exactly when the link crosses islands.
+        if port_reserve and crossing:
+            lim_u -= port_reserve
+            lim_v -= port_reserve
+        if u_new_out > lim_u or new_v > lim_v:
+            return None
+        freq = u.freq_mhz if u.freq_mhz < v.freq_mhz else v.freq_mhz
+        capacity = self._cap_by_freq.get(freq)
+        if capacity is None:
+            capacity = self.library.link_capacity_mbps(freq)
+            self._cap_by_freq[freq] = capacity
+        bw = flow.bandwidth_mbps
+        if capacity + 1e-9 < bw:
+            return None
+        # Exact same memo keys and cost floats as the search inner loop.
+        ekey = ((1 << 23) if crossing else 0) | (v.n_in << 11) | v.n_out
+        ebit = self._ebit_by_key.get(ekey)
+        if ebit is None:
+            self._cache_misses += 1
+            ebit = _edge_traffic_ebit(topo, u, v, cfg)
+            self._ebit_by_key[ekey] = ebit
+        else:
+            self._cache_hits += 1
+        island_ix = self._island_ix
+        skey = (island_ix[u.island] * len(island_ix) + island_ix[v.island]) * 4
+        if u.n_in == 0 and u.n_out == 0:
+            skey += 2
+        if v.n_in == 0 and v.n_out == 0:
+            skey += 1
+        static = self._static_by_key.get(skey)
+        if static is None:
+            self._cache_misses += 1
+            static = _edge_static_open_cost(topo, u, v, cfg)
+            self._static_by_key[skey] = static
+        else:
+            self._cache_hits += 1
+        bits_per_s = bw * units.MEGA * units.BITS_PER_BYTE
+        to_mw = units.PJ_PER_BIT_TIMES_BITS_PER_S_TO_MW
+        if crossing:
+            lat_cost = lat_cost_cross
+            lat_cycles = lat_cross_cycles
+        else:
+            lat_cost = lat_cost_intra
+            lat_cycles = lat_intra_cycles
+        cost = bits_per_s * ebit * to_mw + cfg.open_cost_weight * static + lat_cost
+        _, ebit_floor, static_floor, intra_floor, cross_floor = bound
+        lat_floor = lat_cost_intra if lat_cost_intra < lat_cost_cross else lat_cost_cross
+        # One-edge floors: the globally cheapest edge, and the cheapest
+        # edge of each kind (every floor mirrors the reuse-branch float
+        # bracketing ``traffic + lat``, with each operand at its floor).
+        lower = bits_per_s * ebit_floor * to_mw + lat_floor
+        li = bits_per_s * intra_floor * to_mw + lat_cost_intra
+        lc = bits_per_s * cross_floor * to_mw + lat_cost_cross
+        m = li if li < lc else lc
+        # Kind-aware two-edge floor: a crossing flow's alternative must
+        # pay a full crossing edge somewhere (the other edge at least
+        # the cheaper kind); an intra flow's alternative stays within
+        # the island (two intra edges) or leaves and returns (two
+        # crossing edges) — either way at least twice the cheaper kind.
+        base2 = (lc + m) if crossing else (m + m)
+        # Which switches could an alternative's first edge reach by
+        # *reusing* a link out of src (same residual criterion as the
+        # search's reuse branch)?  And could any of them reuse a second
+        # link straight into dst?  Both probes are O(out-degree of src).
+        reuse_mids: List[int] = []
+        for key in out_keys.get(src_i, ()):
+            for link in pair_links[key]:
+                if link.capacity_mbps - link._used_mbps + 1e-9 >= bw:
+                    reuse_mids.append(key - src_i * n)
+                    break
+        two_reuse = False
+        for w in reuse_mids:
+            lst = pair_links.get(w * n + dst_i)
+            if lst:
+                for link in lst:
+                    if link.capacity_mbps - link._used_mbps + 1e-9 >= bw:
+                        two_reuse = True
+                        break
+            if two_reuse:
+                break
+        if two_reuse:
+            # A two-edge all-reuse path may exist; all we know is that
+            # every alternative has at least two edges.
+            threshold = base2
+        else:
+            # Every alternative either opens a link somewhere (paying
+            # the open static floor on top of two LB edges; same float
+            # bracketing as the open-edge cost above with each operand
+            # replaced by its floor — monotonicity of each float op
+            # keeps it a true lower bound) or reuses existing links
+            # only, which takes at least three edges: a two-edge
+            # all-reuse path would need a reusable src->w *and* w->dst
+            # link, and the probes above ruled that out.
+            open_floor = (
+                bits_per_s * ebit_floor * to_mw
+                + cfg.open_cost_weight * static_floor
+                + lat_floor
+            ) + lower
+            all_reuse_floor = (lower + lower) + lower
+            extra = open_floor if open_floor < all_reuse_floor else all_reuse_floor
+            # base2 and extra are both valid lower bounds on every
+            # alternative; keep the tighter one.
+            threshold = base2 if base2 > extra else extra
+        if cost > threshold:
+            return None
+        self._shortcuts += 1
+        return [(src_i, dst_i, _OPEN, None)], sw_cycles + lat_cycles
+
+    def _vec_attempt_state(self, np_mod, sw_list: List[Switch], n: int) -> list:
+        """Mutable flat-array mirrors of the per-attempt routing state.
+
+        ``n_in``/``n_out``/freshness per switch plus the best residual
+        capacity per directed switch pair (``-inf`` where no link
+        exists).  :meth:`_vec_update` refreshes the touched entries from
+        the ground-truth topology objects after every routed flow, so
+        the batched search never reads stale state.
+        """
+        nin = np_mod.zeros(n, dtype=np_mod.int64)
+        nout = np_mod.zeros(n, dtype=np_mod.int64)
+        for i, sw in enumerate(sw_list):
+            nin[i] = sw.n_in
+            nout[i] = sw.n_out
+        fresh = (nin == 0) & (nout == 0)
+        avail = np_mod.full(n * n, -np_mod.inf)
+        return [np_mod, nin, nout, fresh, avail]
+
+    @staticmethod
+    def _vec_update(
+        vec: list,
+        sw_list: List[Switch],
+        n: int,
+        pair_links: Dict[int, List[Link]],
+        hops: List[Tuple[int, int, str, Optional[Link]]],
+    ) -> None:
+        """Refresh the vector mirrors for every switch pair a flow touched."""
+        _np_mod, nin, nout, fresh, avail = vec
+        neg_inf = -float("inf")
+        for ui, vi, _action, _link in hops:
+            u = sw_list[ui]
+            v = sw_list[vi]
+            nin[ui] = u.n_in
+            nout[ui] = u.n_out
+            fresh[ui] = u.n_in == 0 and u.n_out == 0
+            nin[vi] = v.n_in
+            nout[vi] = v.n_out
+            fresh[vi] = v.n_in == 0 and v.n_out == 0
+            key = ui * n + vi
+            best = neg_inf
+            for link in pair_links.get(key, ()):
+                a = link.capacity_mbps - link._used_mbps
+                if a > best:
+                    best = a
+            avail[key] = best
+
+    def _vec_row(
+        self,
+        sw_list: List[Switch],
+        candidates: Tuple[int, ...],
+        uidx: int,
+        isl_a: int,
+        isl_b: int,
+        np_mod,
+    ):
+        """Array mirror of :meth:`_successor_row` for one popped switch.
+
+        Holds the attempt-invariant pieces of both cost terms, each
+        produced by the same library calls (and the same float
+        bracketing) as the scalar formulas in
+        :func:`_edge_static_open_cost` / :func:`_edge_traffic_ebit`:
+        the static term decomposes into pair idle+leak, per-endpoint
+        freshness floors, wire leakage and converter idle+leak; the
+        traffic term into wire energy, converter energy and the
+        (dynamic, port-dependent) crossbar energy the search gathers
+        from the mutable mirrors.  ``False`` marks a switch with no
+        allowed successors.
+        """
+        lib = self.library
+        cfg = self.cfg
+        mid = INTERMEDIATE_ISLAND
+        max_sizes = self._max_sizes
+        cap_by_freq = self._cap_by_freq
+        u = sw_list[uidx]
+        u_isl = u.island
+        u_freq = u.freq_mhz
+        cols = []
+        for cj in candidates:
+            if cj == uidx:
+                continue
+            v = sw_list[cj]
+            v_isl = v.island
+            if not _allowed_transition(u_isl, v_isl, isl_a, isl_b):
+                continue
+            crossing = u_isl != v_isl
+            length = (
+                cfg.nominal_cross_link_mm if crossing else cfg.nominal_intra_link_mm
+            )
+            freq = u_freq if u_freq < v.freq_mhz else v.freq_mhz
+            capacity = cap_by_freq.get(freq)
+            if capacity is None:
+                capacity = lib.link_capacity_mbps(freq)
+                cap_by_freq[freq] = capacity
+            cols.append(
+                (
+                    cj,
+                    crossing,
+                    crossing and u_isl != mid and v_isl != mid,
+                    max_sizes[v_isl],
+                    capacity,
+                    lib.link_ebit_pj(length),
+                    lib.fifo_ebit_pj if crossing else 0.0,
+                    lib.switch_idle_mw_per_mhz_per_port * (u_freq + v.freq_mhz)
+                    + 2.0 * lib.switch_leak_mw_per_port,
+                    lib.switch_idle_mw_per_mhz_base * v.freq_mhz
+                    + lib.switch_leak_mw_base,
+                    lib.link_leakage_mw(length),
+                    (
+                        lib.fifo_idle_power_mw(u_freq, v.freq_mhz)
+                        + lib.fifo_leakage_mw()
+                    )
+                    if crossing
+                    else 0.0,
+                )
+            )
+        if not cols:
+            return False
+        arr = np_mod.array
+        return (
+            arr([c[0] for c in cols], dtype=np_mod.int64),
+            arr([c[1] for c in cols], dtype=bool),
+            arr([c[2] for c in cols], dtype=bool),
+            arr([c[3] for c in cols], dtype=np_mod.int64),
+            arr([c[4] for c in cols], dtype=np_mod.float64),
+            arr([c[5] for c in cols], dtype=np_mod.float64),
+            arr([c[6] for c in cols], dtype=np_mod.float64),
+            arr([c[7] for c in cols], dtype=np_mod.float64),
+            arr([c[8] for c in cols], dtype=np_mod.float64),
+            arr([c[9] for c in cols], dtype=np_mod.float64),
+            arr([c[10] for c in cols], dtype=np_mod.float64),
+            lib.switch_idle_mw_per_mhz_base * u_freq + lib.switch_leak_mw_base,
+        )
+
+    @staticmethod
+    def _first_fitting_link(
+        pair_links: Dict[int, List[Link]], key: int, bw: float
+    ) -> Optional[Link]:
+        """First existing link of a pair with residual capacity for ``bw``.
+
+        Same order and same ``1e-9`` criterion as the scalar reuse scan.
+        """
+        for link in pair_links.get(key, ()):
+            if link.capacity_mbps - link._used_mbps + 1e-9 >= bw:
+                return link
+        return None
+
+    def _search_vector(
+        self,
+        sw_list: List[Switch],
+        n: int,
+        ranks: Tuple[List[int], List[int]],
+        pair_links: Dict[int, List[Link]],
+        flow: TrafficFlow,
+        src_i: int,
+        dst_i: int,
+        lat_cost_intra: float,
+        lat_cost_cross: float,
+        port_reserve: int,
+        vec: list,
+    ) -> Optional[Tuple[List[Tuple[int, int, str, Optional[Link]]], int]]:
+        """Dijkstra with whole-frontier numpy edge evaluation.
+
+        The heap, visitation and rank tie-breaking are identical to the
+        scalar :meth:`_search`; only the per-pop inner loop differs —
+        every allowed successor's reuse and open costs come out of a
+        handful of array expressions whose float operation order
+        replicates the scalar arithmetic term for term, so distances,
+        predecessors and therefore routes are byte-identical.  Dead
+        edges (neither arm feasible) void the intermediate-dominance
+        skip exactly as in the scalar loop.
+        """
+        np_mod, nin, nout, fresh, avail = vec
+        cfg = self.cfg
+        isl_a = sw_list[src_i].island
+        isl_b = sw_list[dst_i].island
+        key = (n, isl_a, isl_b)
+        entry = self._vec_store.get(key)
+        if entry is None:
+            allowed = {isl_a, isl_b, INTERMEDIATE_ISLAND}
+            candidates = tuple(
+                i for i, s in enumerate(sw_list) if s.island in allowed
+            )
+            entry = (candidates, [None] * n)
+            self._vec_store[key] = entry
+        candidates, rows = entry
+        bw = flow.bandwidth_mbps
+        bits_per_s = bw * units.MEGA * units.BITS_PER_BYTE
+        to_mw = units.PJ_PER_BIT_TIMES_BITS_PER_S_TO_MW
+        open_weight = cfg.open_cost_weight
+        allow_parallel = cfg.allow_parallel_links
+        lib = self.library
+        ebit_base = lib.switch_ebit_base_pj
+        ebit_pp = lib.switch_ebit_per_port_pj
+        has_reserve = port_reserve != 0
+        max_sizes = self._max_sizes
+        rank_of, idx_by_rank = ranks
+        inf = float("inf")
+        dist = np_mod.full(n, inf)
+        dist[src_i] = 0.0
+        prev: List[Optional[Tuple[int, str, Optional[Link]]]] = [None] * n
+        visited = np_mod.zeros(n, dtype=bool)
+        heap: List[Tuple[float, int]] = [(0.0, rank_of[src_i])]
+        pops = 0
+        evals = 0
+        blocked = False
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        nonzero = np_mod.nonzero
+        where = np_mod.where
+        maximum = np_mod.maximum
+        while heap:
+            d, urank = heappop(heap)
+            uidx = idx_by_rank[urank]
+            if visited[uidx]:
+                continue
+            visited[uidx] = True
+            pops += 1
+            if uidx == dst_i:
+                break
+            row = rows[uidx]
+            if row is None:
+                row = rows[uidx] = self._vec_row(
+                    sw_list, candidates, uidx, isl_a, isl_b, np_mod
+                )
+            if row is False:
+                continue
+            (
+                vrow, crossing, reserve_m, limv_base, cap,
+                link_e, fifo_e, t12, xv, wire, y, xu,
+            ) = row
+            live = ~visited[vrow]
+            n_live = int(live.sum())
+            if not n_live:
+                continue
+            evals += n_live
+            u = sw_list[uidx]
+            u_new_out = u.n_out + 1
+            if u.n_in > u_new_out:
+                u_new_out = u.n_in
+            u_fresh = u.n_in == 0 and u.n_out == 0
+            lim_u_base = max_sizes[u.island]
+            nin_v = nin[vrow]
+            nout_v = nout[vrow]
+            # Traffic term: (wire + crossbar) + converter, then
+            # (bits_per_s * e_bit) * to_mw — the scalar bracketing.
+            sw_e = ebit_base + ebit_pp * (maximum(nin_v, 1) + maximum(nout_v, 1))
+            traffic = (bits_per_s * ((link_e + sw_e) + fifo_e)) * to_mw
+            lat_vec = where(crossing, lat_cost_cross, lat_cost_intra)
+            avail_v = avail[uidx * n + vrow]
+            reuse_ok = live & (avail_v + 1e-9 >= bw)
+            cost_reuse = where(reuse_ok, traffic + lat_vec, inf)
+            new_v = maximum(nin_v + 1, nout_v)
+            if has_reserve:
+                lim_u_v = where(reserve_m, lim_u_base - port_reserve, lim_u_base)
+                lim_v_v = where(reserve_m, limv_base - port_reserve, limv_base)
+            else:
+                lim_u_v = lim_u_base
+                lim_v_v = limv_base
+            open_ok = (
+                live
+                & (u_new_out <= lim_u_v)
+                & (new_v <= lim_v_v)
+                & (cap + 1e-9 >= bw)
+            )
+            if not allow_parallel:
+                open_ok &= ~(avail_v > -inf)
+            # Static term: pair idle+leak, masked freshness floors (an
+            # inactive floor adds literal 0.0, which is exact), wire
+            # leakage, masked converter — the scalar accumulation order.
+            s = t12 + (xu if u_fresh else 0.0)
+            s = s + where(fresh[vrow], xv, 0.0)
+            s = s + wire
+            s = s + y
+            cost_open = where(open_ok, (traffic + open_weight * s) + lat_vec, inf)
+            choose_open = cost_open < cost_reuse
+            best = where(choose_open, cost_open, cost_reuse)
+            if bool(np_mod.isinf(best[live]).any()):
+                # Dead edges: same dominance-skip consequence as the
+                # scalar loop.
+                blocked = True
+            nd = d + best
+            upd = nd < (dist[vrow] - 1e-12)
+            for j in nonzero(upd)[0]:
+                vidx = int(vrow[j])
+                nj = float(nd[j])
+                dist[vidx] = nj
+                if choose_open[j]:
+                    prev[vidx] = (uidx, _OPEN, None)
+                else:
+                    prev[vidx] = (
+                        uidx,
+                        _REUSE,
+                        self._first_fitting_link(pair_links, uidx * n + vidx, bw),
+                    )
+                heappush(heap, (nj, rank_of[vidx]))
+        self._pops += pops
+        self._edge_evals += evals
+        self._vec_pops += pops
+        self._vec_edges += evals
+        if blocked:
+            self._blocked = True
+        return self._reconstruct_hops(sw_list, prev, src_i, dst_i)
+
+    def _reconstruct_hops(
+        self,
+        sw_list: List[Switch],
+        prev: List[Optional[Tuple[int, str, Optional[Link]]]],
+        src_i: int,
+        dst_i: int,
+    ) -> Optional[Tuple[List[Tuple[int, int, str, Optional[Link]]], int]]:
+        """Walk predecessors back from the destination, summing latency.
+
+        Zero-load latency: source switch plus, per hop, the link (or
+        converter crossing) and the downstream switch; NI links are
+        free — mirrors ``repro.sim.zero_load``.  Shared by both search
+        kernels.
+        """
+        if prev[dst_i] is None and dst_i != src_i:
+            return None
+        lib = self.library
+        hops: List[Tuple[int, int, str, Optional[Link]]] = []
+        sw_cycles = lib.switch_traversal_cycles
+        latency = sw_cycles
+        fifo_cycles = lib.fifo_crossing_cycles
+        link_cycles = lib.link_traversal_cycles
+        cur = dst_i
+        while cur != src_i:
+            uidx, action, link = prev[cur]
+            hops.append((uidx, cur, action, link))
+            if sw_list[uidx].island != sw_list[cur].island:
+                latency += fifo_cycles + sw_cycles
+            else:
+                latency += link_cycles + sw_cycles
+            cur = uidx
+        hops.reverse()
+        return hops, latency
 
     def _adjacency(
         self,
@@ -1040,6 +1732,7 @@ class PathAllocator:
         blocked_switches: Optional[Set[int]] = None,
         reserved: Optional[Mapping[int, float]] = None,
         allow_open: bool = True,
+        vec: Optional[list] = None,
     ) -> Optional[Tuple[List[Tuple[int, int, str, Optional[Link]]], int]]:
         """Dijkstra over the allowed switch graph.
 
@@ -1059,7 +1752,24 @@ class PathAllocator:
         specific switch indices (node-disjoint mode), ``reserved``
         charges spare-capacity reservations against link headroom, and
         ``allow_open=False`` restricts backups to existing hardware.
+
+        ``vec`` is the vector kernel's per-attempt array state; when
+        present (and no backup-mode constraint is active) the search
+        runs through the batched numpy frontier instead of this loop,
+        with byte-identical results.
         """
+        if (
+            vec is not None
+            and not latency_only
+            and forbidden_links is None
+            and blocked_switches is None
+            and reserved is None
+            and allow_open
+        ):
+            return self._search_vector(
+                sw_list, n, ranks, pair_links, flow, src_i, dst_i,
+                lat_cost_intra, lat_cost_cross, port_reserve, vec,
+            )
         cfg = self.cfg
         lib = self.library
         isl_a = sw_list[src_i].island
@@ -1246,27 +1956,7 @@ class PathAllocator:
         if use_memo:
             self._cache_hits += hits
             self._cache_misses += misses
-        if prev[dst_i] is None and dst_i != src_i:
-            return None
-        # Reconstruct hops back from the destination, accumulating the
-        # zero-load latency (source switch + per hop: link + downstream
-        # switch; NI links are free — mirrors repro.sim.zero_load).
-        hops: List[Tuple[int, int, str, Optional[Link]]] = []
-        sw_cycles = lib.switch_traversal_cycles
-        latency = sw_cycles
-        fifo_cycles = lib.fifo_crossing_cycles
-        link_cycles = lib.link_traversal_cycles
-        cur = dst_i
-        while cur != src_i:
-            uidx, action, link = prev[cur]
-            hops.append((uidx, cur, action, link))
-            if sw_list[uidx].island != sw_list[cur].island:
-                latency += fifo_cycles + sw_cycles
-            else:
-                latency += link_cycles + sw_cycles
-            cur = uidx
-        hops.reverse()
-        return hops, latency
+        return self._reconstruct_hops(sw_list, prev, src_i, dst_i)
 
     # -- instrumentation -----------------------------------------------
 
@@ -1280,10 +1970,14 @@ class PathAllocator:
             recorder.count("scaffold_builds", self._scaffold_builds)
             recorder.count("cost_cache_hits", self._cache_hits)
             recorder.count("cost_cache_misses", self._cache_misses)
+            recorder.count("direct_open_shortcuts", self._shortcuts)
+            recorder.count("vector_pops", self._vec_pops)
+            recorder.count("vector_edges", self._vec_edges)
         self._pops = self._edge_evals = 0
         self._scaffold_clones = self._scaffold_builds = 0
         self._links_opened = 0
         self._cache_hits = self._cache_misses = 0
+        self._shortcuts = self._vec_pops = self._vec_edges = 0
 
 
 # ----------------------------------------------------------------------

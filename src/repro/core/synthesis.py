@@ -87,6 +87,14 @@ class SynthesisConfig:
     #: path allocation.  Off reproduces the same design space through
     #: the unmemoized reference path (used by determinism tests).
     enable_caches: bool = True
+    #: Routing-kernel selection: ``auto`` (vector unless the
+    #: ``REPRO_KERNEL`` environment variable says otherwise),
+    #: ``vector`` (batched array kernel: direct-open dominance shortcut
+    #: plus numpy whole-frontier evaluation, with a pure-Python
+    #: fallback when numpy is absent) or ``scalar`` (the historical
+    #: per-edge loop).  Byte-identical design spaces either way; the
+    #: reference mode (``enable_caches=False``) always runs scalar.
+    kernel: str = "auto"
     #: Co-synthesis objective: when set, every evaluated candidate is
     #: scored under it *inside* the sweep — points the objective
     #: rejects are recorded as failures (like a routing failure) and
@@ -163,6 +171,10 @@ def synthesize(
     part_cache: Optional[Dict[Tuple[int, int, int, str], List[Set[str]]]] = (
         {} if cfg.enable_caches else None
     )
+    # Floorplan-skeleton cache shared across the sweep: candidates with
+    # identical island region areas re-tile the same chip outline, core
+    # rectangles and NI positions (see repro.floorplan.placer.place).
+    place_cache: Optional[dict] = {} if cfg.enable_caches else None
     point_index = 0
     for i in range(0, max_cores + 1):
         counts: Dict[int, int] = {}
@@ -191,10 +203,15 @@ def synthesize(
             partitions,
             cost_config=cfg.path_cost,
             use_cache=cfg.enable_caches,
+            kernel=cfg.kernel,
         )
+        # Per-kernel phase timer alongside the aggregate one, so a
+        # bench snapshot can attribute allocation time to the kernel
+        # that actually ran (allocator.kernel is the resolved choice).
+        alloc_phase = "allocation." + allocator.kernel
         seen_signatures: Set[Tuple[Tuple[Tuple[int, int], ...], int]] = set()
         for k_mid in range(0, mid_cap + 1):
-            with maybe_phase("allocation"):
+            with maybe_phase("allocation"), maybe_phase(alloc_phase):
                 result = allocator.allocate(num_intermediate=k_mid)
             if not result.success:
                 space.failures.append((counts_key, k_mid, result.reason or "unknown"))
@@ -208,7 +225,8 @@ def synthesize(
             seen_signatures.add(signature)
             with maybe_phase("evaluation"):
                 point = _evaluate_point(
-                    result, plans, counts, k_mid, point_index, library, cfg
+                    result, plans, counts, k_mid, point_index, library, cfg,
+                    place_cache,
                 )
             if prune_obj is not None and incumbent is not None:
                 prefix = prune_obj.partial_cost(point)
@@ -308,13 +326,14 @@ def _evaluate_point(
     index: int,
     library: NocLibrary,
     cfg: SynthesisConfig,
+    place_cache: Optional[dict] = None,
 ) -> DesignPoint:
     """Final step: floorplan, wires, power, latency for one topology."""
     topo = result.require_topology()
     if cfg.anneal_placement:
         floorplan = anneal_placement(topo, cfg.floorplan, AnnealConfig(seed=cfg.seed))
     else:
-        floorplan = place(topo, cfg.floorplan)
+        floorplan = place(topo, cfg.floorplan, skeleton_cache=place_cache)
     wires = assign_wire_lengths(topo, floorplan)
     if cfg.validate_points:
         max_sizes = {isl: p.max_switch_size for isl, p in plans.items()}

@@ -73,12 +73,24 @@ def place(
     topology: Topology,
     config: Optional[FloorplanConfig] = None,
     core_order: Optional[Mapping[int, Sequence[str]]] = None,
+    skeleton_cache: Optional[dict] = None,
 ) -> Floorplan:
     """Produce a floorplan for a synthesized topology.
 
     ``core_order`` optionally fixes the per-island core ordering fed to
     the slicing tiler — the annealer uses this hook to explore
     placements; by default cores are tiled in bandwidth-affinity order.
+
+    ``skeleton_cache`` memoizes the floorplan *skeleton* — chip
+    outline, island regions, core rectangles and NI positions — across
+    calls for the same spec.  The skeleton is a pure function of the
+    island region areas (plus the config knobs), and candidates of one
+    synthesis sweep mostly repeat the same areas (only intermediate
+    switches change them), so the slicing tiler runs once per distinct
+    area vector instead of once per design point.  Only switch
+    placement depends on the routed links and is recomputed per call;
+    cached geometry objects are immutable and shared, the dicts are
+    copied.  The annealer's ``core_order`` hook bypasses the cache.
     """
     cfg = config or FloorplanConfig()
     spec = topology.spec
@@ -98,38 +110,57 @@ def place(
             (INTERMEDIATE_ISLAND, max(mid_area * 4.0, cfg.min_intermediate_area_mm2))
         )
 
-    total = sum(a for _, a in region_areas)
-    chip = chip_rect(total, cfg.whitespace_fraction, cfg.aspect)
-    island_rects_any = slice_regions(chip, region_areas)
-    island_rects: Dict[int, Rect] = {int(k): v for k, v in island_rects_any.items()}
+    skeleton = None
+    skeleton_key = None
+    if skeleton_cache is not None and core_order is None:
+        skeleton_key = (
+            tuple(region_areas),
+            cfg.whitespace_fraction,
+            cfg.island_noc_margin,
+            cfg.aspect,
+            cfg.min_intermediate_area_mm2,
+        )
+        skeleton = skeleton_cache.get(skeleton_key)
+    if skeleton is None:
+        total = sum(a for _, a in region_areas)
+        chip = chip_rect(total, cfg.whitespace_fraction, cfg.aspect)
+        island_rects_any = slice_regions(chip, region_areas)
+        island_rects: Dict[int, Rect] = {
+            int(k): v for k, v in island_rects_any.items()
+        }
 
-    core_rects: Dict[str, Rect] = {}
-    for isl in spec.islands:
-        cores = list(spec.cores_in_island(isl))
-        if core_order and isl in core_order:
-            ordered = list(core_order[isl])
-            if sorted(ordered) != sorted(cores):
-                raise FloorplanError(
-                    "core_order for island %d does not match its cores" % isl
-                )
-            cores = ordered
-        rect = island_rects[isl]
-        entries = [(c, spec.core(c).area_mm2) for c in cores]
-        placed = slice_regions(rect, entries)
-        for c, r in placed.items():
-            core_rects[str(c)] = r
+        core_rects: Dict[str, Rect] = {}
+        for isl in spec.islands:
+            cores = list(spec.cores_in_island(isl))
+            if core_order and isl in core_order:
+                ordered = list(core_order[isl])
+                if sorted(ordered) != sorted(cores):
+                    raise FloorplanError(
+                        "core_order for island %d does not match its cores" % isl
+                    )
+                cores = ordered
+            rect = island_rects[isl]
+            entries = [(c, spec.core(c).area_mm2) for c in cores]
+            placed = slice_regions(rect, entries)
+            for c, r in placed.items():
+                core_rects[str(c)] = r
 
-    ni_pos: Dict[str, Point] = {}
-    for nid, ni in topology.nis.items():
-        ni_pos[nid] = core_rects[ni.core].center
+        ni_pos: Dict[str, Point] = {}
+        for nid, ni in topology.nis.items():
+            ni_pos[nid] = core_rects[ni.core].center
+
+        skeleton = (chip, island_rects, core_rects, ni_pos)
+        if skeleton_key is not None:
+            skeleton_cache[skeleton_key] = skeleton
+    chip, island_rects, core_rects, ni_pos = skeleton
 
     switch_pos = _place_switches(topology, island_rects, ni_pos)
     return Floorplan(
         chip=chip,
-        island_rects=island_rects,
-        core_rects=core_rects,
+        island_rects=dict(island_rects),
+        core_rects=dict(core_rects),
         switch_pos=switch_pos,
-        ni_pos=ni_pos,
+        ni_pos=dict(ni_pos),
     )
 
 
@@ -182,14 +213,25 @@ def _place_switches(
     for _ in range(2):
         updated: Dict[str, Point] = {}
         for sid, sw in topology.switches.items():
-            pts = [
-                (anchor if fixed else positions[anchor], w)
-                for fixed, anchor, w in pulls[sid]
-            ]
-            if not pts:
+            plist = pulls[sid]
+            if not plist:
                 continue
-            centroid = _weighted_centroid(pts)
-            updated[sid] = island_rects[sw.island].clamp(centroid)
+            total = 0.0
+            x = 0.0
+            y = 0.0
+            for fixed, anchor, w in plist:
+                p = anchor if fixed else positions[anchor]
+                total += w
+                x += p.x * w
+                y += p.y * w
+            if total <= 0:
+                total = float(len(plist))
+                x = y = 0.0
+                for fixed, anchor, w in plist:
+                    p = anchor if fixed else positions[anchor]
+                    x += p.x * 1.0
+                    y += p.y * 1.0
+            updated[sid] = island_rects[sw.island].clamp(Point(x / total, y / total))
         positions.update(updated)
     return positions
 

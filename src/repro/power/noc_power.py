@@ -98,10 +98,13 @@ def compute_noc_power(
     """
     lib = topology.library
     spec = topology.spec
+    routes = topology.routes
+    switches = topology.switches
+    links = topology.links
     if active_flows is None:
-        active = set(topology.routes.keys())
+        active = sorted(routes.keys())
     else:
-        active = set(active_flows)
+        active = [k for k in sorted(set(active_flows)) if k in routes]
     all_islands = set(topology.island_freqs.keys())
     powered = all_islands if powered_islands is None else set(powered_islands)
 
@@ -111,88 +114,123 @@ def compute_noc_power(
     switch_idle = ni_idle = fifo_idle = 0.0
     leakage = 0.0
 
-    for sw in topology.switches.values():
+    # Per-call memos for the pure library terms: port shapes and island
+    # frequencies repeat across components, so the library arithmetic
+    # runs once per distinct input instead of once per component.  The
+    # memoized values are the exact floats the direct calls return, so
+    # every accumulation below is bit-identical to the unmemoized loop.
+    sw_power_memo: Dict[Tuple[int, int, float], Tuple[float, float]] = {}
+    for sw in switches.values():
         if sw.island not in powered:
             continue
-        n_in, n_out = max(sw.n_in, 1), max(sw.n_out, 1)
-        idle = lib.switch_idle_power_mw(n_in, n_out, sw.freq_mhz)
+        shape = (sw.n_in, sw.n_out, sw.freq_mhz)
+        cached = sw_power_memo.get(shape)
+        if cached is None:
+            n_in, n_out = max(sw.n_in, 1), max(sw.n_out, 1)
+            cached = (
+                lib.switch_idle_power_mw(n_in, n_out, sw.freq_mhz),
+                lib.switch_leakage_mw(n_in, n_out),
+            )
+            sw_power_memo[shape] = cached
+        idle, leak = cached
         switch_idle += idle
         dyn_by_island[sw.island] += idle
-        leak = lib.switch_leakage_mw(n_in, n_out)
         leakage += leak
         leak_by_island[sw.island] += leak
 
     ni_leak = lib.ni_leakage_mw()
+    ni_idle_memo: Dict[float, float] = {}
     for ni in topology.nis.values():
         if ni.island not in powered:
             continue
-        idle = lib.ni_idle_power_mw(ni.freq_mhz)
+        idle = ni_idle_memo.get(ni.freq_mhz)
+        if idle is None:
+            idle = lib.ni_idle_power_mw(ni.freq_mhz)
+            ni_idle_memo[ni.freq_mhz] = idle
         ni_idle += idle
         dyn_by_island[ni.island] += idle
         leakage += ni_leak
         leak_by_island[ni.island] += ni_leak
 
-    for link in topology.links.values():
-        src_on = link.src_island in powered
-        dst_on = link.dst_island in powered
+    island_freqs = topology.island_freqs
+    fifo_leak = lib.fifo_leakage_mw()
+    fifo_idle_memo: Dict[Tuple[float, float], float] = {}
+    link_leak_memo: Dict[float, float] = {}
+    for link in links.values():
+        src_isl = link.src_island
+        dst_isl = link.dst_island
+        src_on = src_isl in powered
+        dst_on = dst_isl in powered
         if link.converter and src_on and dst_on:
-            idle = lib.fifo_idle_power_mw(
-                topology.island_freqs[link.src_island],
-                topology.island_freqs[link.dst_island],
-            )
+            fpair = (island_freqs[src_isl], island_freqs[dst_isl])
+            idle = fifo_idle_memo.get(fpair)
+            if idle is None:
+                idle = lib.fifo_idle_power_mw(fpair[0], fpair[1])
+                fifo_idle_memo[fpair] = idle
             fifo_idle += idle
-            dyn_by_island[link.dst_island] += idle
-            fifo_leak = lib.fifo_leakage_mw()
+            dyn_by_island[dst_isl] += idle
             leakage += fifo_leak
-            leak_by_island[link.dst_island] += fifo_leak
+            leak_by_island[dst_isl] += fifo_leak
         if src_on and dst_on and link.kind == "sw2sw":
-            leak = lib.link_leakage_mw(link.length_mm if use_lengths else 0.0)
+            length = link.length_mm if use_lengths else 0.0
+            leak = link_leak_memo.get(length)
+            if leak is None:
+                leak = lib.link_leakage_mw(length)
+                link_leak_memo[length] = leak
             leakage += leak
-            leak_by_island[link.src_island] += leak
+            leak_by_island[src_isl] += leak
 
     switch_traffic = ni_traffic = link_traffic = fifo_traffic = 0.0
-    # Per-call memos for the pure energy terms: switch crossbars repeat
-    # the same port shapes and every flow over a link sees the same
-    # wire energy, so the library arithmetic runs once per distinct
-    # input instead of once per hop.
+    # Traffic memos: switch crossbars repeat the same port shapes and
+    # every flow over a link sees the same wire energy.  The inlined
+    # ``units.traffic_power_mw`` formula keeps the exact accumulation
+    # order (bits/s first, then energy, then the mW factor).
     sw_ebit_memo: Dict[Tuple[int, int], float] = {}
-    link_ebit_memo: Dict[int, float] = {}
+    link_info_memo: Dict[int, Tuple[float, bool, int, int]] = {}
     ni_ebit2 = 2.0 * lib.ni_ebit_pj
-    traffic_power_mw = units.traffic_power_mw
-    for key in sorted(active):
-        if key not in topology.routes:
-            continue
-        flow = spec.flow(*key)
+    fifo_ebit = lib.fifo_ebit_pj
+    to_mw = units.PJ_PER_BIT_TIMES_BITS_PER_S_TO_MW
+    bits_factor = units.MEGA * units.BITS_PER_BYTE
+    flow_of = spec.flow
+    island_of = spec.island_of
+    for key in active:
+        flow = flow_of(*key)
         bw = flow.bandwidth_mbps
-        route = topology.routes[key]
+        bits_per_s = bw * bits_factor
+        route = routes[key]
         # NI energy at both ends.
-        p = traffic_power_mw(bw, ni_ebit2)
+        p = bits_per_s * ni_ebit2 * to_mw
         ni_traffic += p
-        dyn_by_island[spec.island_of(flow.src)] += p / 2.0
-        dyn_by_island[spec.island_of(flow.dst)] += p / 2.0
+        dyn_by_island[island_of(flow.src)] += p / 2.0
+        dyn_by_island[island_of(flow.dst)] += p / 2.0
         for comp in route.components[1:-1]:
-            sw = topology.switches[comp]
+            sw = switches[comp]
             shape = (sw.n_in, sw.n_out)
             ebit = sw_ebit_memo.get(shape)
             if ebit is None:
                 ebit = lib.switch_ebit_pj(max(sw.n_in, 1), max(sw.n_out, 1))
                 sw_ebit_memo[shape] = ebit
-            p = traffic_power_mw(bw, ebit)
+            p = bits_per_s * ebit * to_mw
             switch_traffic += p
             dyn_by_island[sw.island] += p
         for lid in route.links:
-            link = topology.links[lid]
-            ebit = link_ebit_memo.get(lid)
-            if ebit is None:
-                ebit = lib.link_ebit_pj(link.length_mm if use_lengths else 0.0)
-                link_ebit_memo[lid] = ebit
-            p = traffic_power_mw(bw, ebit)
+            info = link_info_memo.get(lid)
+            if info is None:
+                link = links[lid]
+                info = (
+                    lib.link_ebit_pj(link.length_mm if use_lengths else 0.0),
+                    link.converter,
+                    link.src_island,
+                    link.dst_island,
+                )
+                link_info_memo[lid] = info
+            p = bits_per_s * info[0] * to_mw
             link_traffic += p
-            dyn_by_island[link.src_island] += p
-            if link.converter:
-                p = traffic_power_mw(bw, lib.fifo_ebit_pj)
+            dyn_by_island[info[2]] += p
+            if info[1]:
+                p = bits_per_s * fifo_ebit * to_mw
                 fifo_traffic += p
-                dyn_by_island[link.dst_island] += p
+                dyn_by_island[info[3]] += p
 
     return NocPower(
         switch_idle_mw=switch_idle,
