@@ -39,6 +39,11 @@ The resilience section records the coverage-vs-overhead point of
 k-spare protection on d26 under single-link faults (100% coverage at
 the measured power overhead — see docs/resilience.md), with a
 byte-identical-reruns determinism check folded into the exit code.
+The control-plane section replays every live single-link scenario on
+d26 through the closed-loop reconfiguration controller and records
+recovery-time percentiles, the degraded-window energy delta, and the
+deadlock-audit verdicts (see docs/control_plane.md); its determinism
+and deadlock-freedom flags also participate in the exit code.
 
 Usage::
 
@@ -503,6 +508,130 @@ def run_resilience(islands: int = 6, k: int = 1) -> Dict[str, object]:
     return out
 
 
+def _pct(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+def run_control_plane(
+    islands: int = 6, k: int = 1, max_scenarios: Optional[int] = None
+) -> Dict[str, object]:
+    """Closed-loop recovery timings on d26 (bench_control.py).
+
+    Replays a Markov trace once per live single-link scenario with the
+    reconfiguration controller driving detection, failover install and
+    restore-to-primary, and records the recovery-time percentiles, the
+    degraded-window energy delta, and the deadlock-audit verdicts.  One
+    scenario is replayed twice and its full recovery timeline +
+    telemetry stream compared byte-for-byte; the ``deterministic`` flag
+    participates in the harness exit code.
+    """
+    from repro.control import ReconfigurationController  # noqa: E402
+    from repro.io.json_io import control_summary  # noqa: E402
+    from repro.resilience import (  # noqa: E402
+        FaultEvent,
+        enumerate_scenarios,
+        route_affected,
+    )
+    from repro.soc.partitioning import logical_partitioning  # noqa: E402
+    from repro.soc.usecases import use_cases_for  # noqa: E402
+
+    spec = logical_partitioning(mobile_soc_26(), islands)
+    spec = spec.with_vi_assignment(spec.vi_assignment, name="d26_media")
+    t0 = time.perf_counter()
+    best = synthesize(spec, config=FAST).best_by_power()
+    prot = protect_design_point(best, k=k)
+    topology = prot.topology
+    trace = markov_trace(use_cases_for(spec), n_segments=48, seed=11)
+    all_scenarios = enumerate_scenarios(topology, "single_link")
+    live = [
+        sc
+        for sc in all_scenarios
+        if any(route_affected(sc, topology, r) for r in topology.routes.values())
+    ]
+    measured = live[:max_scenarios] if max_scenarios else live
+    if len(measured) < len(live):
+        print(
+            "  (quick mode: measuring %d of %d live scenarios)"
+            % (len(measured), len(live))
+        )
+    controller = ReconfigurationController(topology, spare_plan=prot.plan)
+
+    def replay(scenario):
+        event = FaultEvent(
+            scenario=scenario,
+            start_ms=0.25 * trace.total_ms,
+            end_ms=0.6 * trace.total_ms,
+        )
+        return simulate_trace(
+            topology,
+            trace,
+            make_policy("break_even"),
+            fault_events=[event],
+            spare_plan=prot.plan,
+            controller=controller,
+        )
+
+    recoveries_ms: List[float] = []
+    delta_mj = 0.0
+    lost_mbits = 0.0
+    all_routable = True
+    all_deadlock_free = True
+    for sc in measured:
+        report = replay(sc)
+        all_routable = all_routable and report.routable
+        all_deadlock_free = (
+            all_deadlock_free and report.recoveries_deadlock_free
+        )
+        recoveries_ms.append(report.worst_recovery_ms)
+        delta_mj += report.fault_delta_mj
+        lost_mbits += report.lost_traffic_mbits
+    deterministic = True
+    if measured:
+        fresh = ReconfigurationController(topology, spare_plan=prot.plan)
+        a = json.dumps(control_summary(replay(measured[0])), sort_keys=True)
+        controller = fresh
+        b = json.dumps(control_summary(replay(measured[0])), sort_keys=True)
+        deterministic = a == b
+    dt = time.perf_counter() - t0
+    ordered = sorted(recoveries_ms)
+    out = {
+        "islands": islands,
+        "k": k,
+        "fault_model": "single_link",
+        "scenarios_total": len(all_scenarios),
+        "scenarios_live": len(live),
+        "scenarios_measured": len(measured),
+        "recovery_ms_p50": round(_pct(ordered, 0.5), 6),
+        "recovery_ms_p95": round(_pct(ordered, 0.95), 6),
+        "recovery_ms_max": round(max(recoveries_ms, default=0.0), 6),
+        "degraded_delta_mj": round(delta_mj, 6),
+        "lost_traffic_mbits": round(lost_mbits, 6),
+        "all_routable": all_routable,
+        "all_deadlock_free": all_deadlock_free,
+        "deterministic": deterministic,
+        "seconds": round(dt, 4),
+    }
+    print(
+        "  %d/%d live scenarios: recovery p50 %.4f / p95 %.4f / max %.4f ms, "
+        "degraded delta %+.4f mJ (deadlock-free=%s, deterministic=%s)"
+        % (
+            len(measured),
+            len(live),
+            out["recovery_ms_p50"],
+            out["recovery_ms_p95"],
+            out["recovery_ms_max"],
+            out["degraded_delta_mj"],
+            all_deadlock_free,
+            deterministic,
+        )
+    )
+    return out
+
+
 def previous_comparable_total(history_dir: str, sizes: List[int]) -> Optional[Dict[str, object]]:
     """Scaling total of the newest archived snapshot with these sizes.
 
@@ -761,6 +890,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     print("resilience (d26, single-link faults, k=1 spares):")
     resilience = run_resilience()
+    print("control plane (d26, closed-loop recovery, k=1 spares):")
+    control_plane = run_control_plane(
+        max_scenarios=4 if args.quick else None
+    )
 
     result: Dict[str, object] = {
         "meta": {
@@ -777,6 +910,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "worker_scaling": worker_rows,
         "runtime_shutdown": runtime_shutdown,
         "resilience": resilience,
+        "control_plane": control_plane,
     }
     if args.baseline_seconds is not None:
         result["baseline"] = {
@@ -810,6 +944,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         and kernel["identical_points"]
         and gate_ok
         and resilience["deterministic"]
+        and control_plane["deterministic"]
+        and control_plane["all_deadlock_free"]
     ) else 1
 
 

@@ -78,11 +78,18 @@ from .runtime import (
     scripted_trace,
     simulate_trace,
 )
+from .control import (
+    ControlLatencyModel,
+    ReconfigurationController,
+    RecoveryObjective,
+    controlled_simulation_check,
+)
 from .resilience import (
     FAULT_MODEL_NAMES,
     CoverageReport,
     FaultEvent,
     FaultScenario,
+    FitRates,
     ProtectionResult,
     ResilienceObjective,
     SparePathConfig,
@@ -106,10 +113,15 @@ __all__ = [
     "CoreSpec",
     "CoverageReport",
     "DEFAULT_LIBRARY",
+    "ControlLatencyModel",
     "FAULT_MODEL_NAMES",
     "FaultEvent",
     "FaultScenario",
+    "FitRates",
     "MultiTraceObjective",
+    "ReconfigurationController",
+    "RecoveryObjective",
+    "controlled_simulation_check",
     "ProtectionResult",
     "ResilienceObjective",
     "SparePathConfig",

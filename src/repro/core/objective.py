@@ -96,6 +96,7 @@ OBJECTIVE_NAMES: Tuple[str, ...] = (
     "multi_trace",
     "wake_qos",
     "resilience",
+    "recovery",
 )
 
 #: Default per-flow wake-latency budget (ms) when none is specified.
@@ -726,6 +727,17 @@ def make_objective(
         from ..resilience.coverage import ResilienceObjective
 
         return ResilienceObjective(
+            fault_model=fault_model,
+            k=spare_k,
+            min_coverage=min_coverage,
+            base=base,
+        )
+    if key == "recovery":
+        # Deferred import: the control package sits above both the
+        # resilience layer and this module.
+        from ..control.objective import RecoveryObjective
+
+        return RecoveryObjective(
             fault_model=fault_model,
             k=spare_k,
             min_coverage=min_coverage,

@@ -88,6 +88,7 @@ from ..arch.topology import (
     INTERMEDIATE_ISLAND,
     FlowKey,
     Link,
+    Route,
     Switch,
     Topology,
     ni_id,
@@ -763,6 +764,76 @@ class PathAllocator:
         )
         self._flush_counters()
         return found
+
+    def route_around(
+        self,
+        topo: Topology,
+        key: FlowKey,
+        forbidden_links: Iterable[int],
+        blocked_switches: Iterable[str] = (),
+        reserved: Optional[Mapping[int, float]] = None,
+    ) -> Optional[Tuple[Route, int]]:
+        """Online reroute of one routed flow on *existing* hardware.
+
+        The control-plane entry point: reroute ``key`` around a set of
+        failed links / switches using only links the fabbed design
+        already has (``allow_open=False`` — a runtime controller cannot
+        add wires), keeping the flow's NI attachment links and the
+        shutdown-safety transition rule.  ``reserved`` subtracts
+        cold-standby spare reservations from link headroom so an
+        online reroute never eats another flow's guaranteed backup
+        capacity.  Wraps :meth:`route_backup` with the
+        ``sw_list``/``pair_links`` plumbing built from ``topo``
+        directly; returns ``(route, zero_load_latency_cycles)`` or
+        ``None`` when no surviving path exists.
+        """
+        route = topo.routes.get(key)
+        if route is None:
+            return None
+        flow = topo.spec.flow(*key)
+        sw_list: List[Switch] = list(topo.switches.values())
+        n = len(sw_list)
+        idx_of = {sw.id: i for i, sw in enumerate(sw_list)}
+        pair_links: Dict[int, List[Link]] = {}
+        for link in topo.links.values():
+            if link.kind != "sw2sw":
+                continue
+            pkey = idx_of[link.src] * n + idx_of[link.dst]
+            pair_links.setdefault(pkey, []).append(link)
+        for links in pair_links.values():
+            links.sort(key=lambda l: l.id)
+        src_i = idx_of[topo.switch_of_core(flow.src).id]
+        dst_i = idx_of[topo.switch_of_core(flow.dst).id]
+        blocked = {
+            idx_of[sid] for sid in blocked_switches if sid in idx_of
+        } - {src_i, dst_i}
+        found = self.route_backup(
+            topo,
+            sw_list,
+            pair_links,
+            flow,
+            src_i,
+            dst_i,
+            set(forbidden_links),
+            blocked_switches=blocked or None,
+            reserved=reserved,
+            allow_open=False,
+        )
+        if found is None:
+            return None
+        hops, cycles = found
+        link_ids: List[int] = [route.links[0]]
+        for _ui, _vi, _action, link in hops:
+            # allow_open=False: every hop reuses an existing link.
+            link_ids.append(link.id)
+        link_ids.append(route.links[-1])
+        comps = [ni_id(flow.src)]
+        for lid in link_ids:
+            comps.append(topo.links[lid].dst)
+        return (
+            Route(flow=key, components=tuple(comps), links=tuple(link_ids)),
+            cycles,
+        )
 
     # -- scaffold ------------------------------------------------------
 

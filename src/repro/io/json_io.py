@@ -295,3 +295,34 @@ def coverage_summary(report) -> Dict[str, Any]:
         for s in report.scenarios
     ]
     return out
+
+
+# ----------------------------------------------------------------------
+# Control plane
+# ----------------------------------------------------------------------
+
+
+def control_summary(report) -> Dict[str, Any]:
+    """JSON summary of a controller-driven :class:`RuntimeReport`.
+
+    Bundles the per-fault recovery timelines and the telemetry stream
+    with the headline service metrics; everything is JSON-native
+    (``inf`` timestamps become ``null``) and deterministically ordered,
+    so ``json.dumps(..., sort_keys=True)`` of two identical replays is
+    byte-identical — the pin the control-plane bench and tests check.
+    """
+    from ..control.telemetry import recovery_summary, telemetry_summary
+
+    return {
+        "trace": report.trace_name,
+        "policy": report.policy,
+        "routable": report.routable,
+        "controlled": report.controlled,
+        "deadlock_free": report.recoveries_deadlock_free,
+        "worst_recovery_ms": round(report.worst_recovery_ms, 6),
+        "lost_traffic_mbits": round(report.lost_traffic_mbits, 6),
+        "fault_delta_mj": round(report.fault_delta_mj, 9),
+        "fault_stall_ms": round(report.fault_stall_ms, 6),
+        "recoveries": [recovery_summary(r) for r in report.recoveries],
+        "telemetry": telemetry_summary(report.telemetry),
+    }

@@ -41,6 +41,7 @@ from .faults import (
     FAULT_MODEL_NAMES,
     FaultEvent,
     FaultScenario,
+    FitRates,
     double_link_failures,
     endpoint_failed,
     enumerate_scenarios,
@@ -64,6 +65,7 @@ __all__ = [
     "FAULT_MODEL_NAMES",
     "FaultEvent",
     "FaultScenario",
+    "FitRates",
     "FlowImpact",
     "LOST",
     "ProtectionResult",

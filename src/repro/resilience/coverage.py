@@ -43,6 +43,7 @@ from ..exceptions import SpecError
 from .faults import (
     FAULT_MODEL_NAMES,
     FaultScenario,
+    FitRates,
     endpoint_failed,
     enumerate_scenarios,
     route_affected,
@@ -120,6 +121,21 @@ class ScenarioCoverage:
     def max_added_cycles(self) -> int:
         return max((i.added_cycles for i in self.impacts), default=0)
 
+    @property
+    def down_fraction(self) -> float:
+        """Fraction of *all* routed flows down while this fault is live.
+
+        Unlike :attr:`coverage`, endpoint losses count as down: the
+        availability metric measures delivered service, and a flow whose
+        endpoint died is just as unreachable as an unroutable one.
+        """
+        if not self.impacts:
+            return 0.0
+        down = sum(
+            1 for i in self.impacts if i.fate in (LOST, ENDPOINT_LOST)
+        )
+        return down / len(self.impacts)
+
 
 @dataclass(frozen=True)
 class CoverageReport:
@@ -161,6 +177,39 @@ class CoverageReport:
         """Worst failover latency penalty over every scenario."""
         return max((s.max_added_cycles for s in self.scenarios), default=0)
 
+    @property
+    def has_fit(self) -> bool:
+        """True when the scenarios carry FIT annotations (``rates=``)."""
+        return any(s.scenario.fit > 0.0 for s in self.scenarios)
+
+    def expected_availability(self, repair_hours: float = 8.0) -> float:
+        """Steady-state expected flow availability under the FIT model.
+
+        Each scenario is unavailable for ``fit x 1e-9 x repair_hours``
+        of the time (rate x MTTR, the standard steady-state
+        approximation for FIT-scale rates) and takes
+        :attr:`ScenarioCoverage.down_fraction` of the flows with it
+        while live.  Availability is 1 minus the rate-weighted sum —
+        scenarios the spare plan fully covers contribute nothing, which
+        is exactly the availability argument for paying the spare
+        overhead.  Requires FIT-annotated scenarios (see
+        :class:`~repro.resilience.faults.FitRates`); returns 1.0 when
+        none are annotated.
+        """
+        if repair_hours <= 0:
+            raise SpecError(
+                "repair_hours must be > 0, got %r" % repair_hours
+            )
+        loss = sum(
+            s.scenario.fit * 1e-9 * repair_hours * s.down_fraction
+            for s in self.scenarios
+        )
+        return max(0.0, 1.0 - loss)
+
+    def downtime_minutes_per_year(self, repair_hours: float = 8.0) -> float:
+        """Expected flow-weighted downtime, in minutes per year."""
+        return (1.0 - self.expected_availability(repair_hours)) * 525600.0
+
     def rows(self) -> List[Dict[str, object]]:
         """Per-scenario table rows for :func:`repro.io.report.format_table`."""
         return [
@@ -177,8 +226,12 @@ class CoverageReport:
         ]
 
     def summary(self) -> Dict[str, object]:
-        """One-row rollup (the bench/CLI headline)."""
-        return {
+        """One-row rollup (the bench/CLI headline).
+
+        Availability fields appear only when the scenarios carry FIT
+        annotations, so un-annotated runs serialize exactly as before.
+        """
+        out: Dict[str, object] = {
             "fault_model": self.fault_model,
             "scenarios": self.num_scenarios,
             "coverage": round(self.coverage, 6),
@@ -186,6 +239,14 @@ class CoverageReport:
             "uncovered_flows": len(self.uncovered_flows),
             "max_added_cycles": self.max_added_cycles,
         }
+        if self.has_fit:
+            out["expected_availability"] = round(
+                self.expected_availability(), 9
+            )
+            out["downtime_min_year"] = round(
+                self.downtime_minutes_per_year(), 6
+            )
+        return out
 
 
 def _classify(
@@ -240,11 +301,16 @@ def analyze_model(
     topology: Topology,
     fault_model: str = "single_link",
     plan: Optional[SparePlan] = None,
+    rates: Optional[FitRates] = None,
 ) -> CoverageReport:
-    """Coverage under every scenario of one named fault model."""
+    """Coverage under every scenario of one named fault model.
+
+    ``rates`` annotates the scenarios with FIT occurrence rates,
+    enabling :meth:`CoverageReport.expected_availability`.
+    """
     return analyze_coverage(
         topology,
-        enumerate_scenarios(topology, fault_model),
+        enumerate_scenarios(topology, fault_model, rates=rates),
         plan=plan,
         fault_model=fault_model,
     )

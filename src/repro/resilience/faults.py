@@ -29,9 +29,10 @@ with ``fault_events``).
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..arch.topology import INTERMEDIATE_ISLAND, FlowKey, Route, Topology
 from ..exceptions import SpecError
@@ -46,6 +47,64 @@ FAULT_MODEL_NAMES: Tuple[str, ...] = (
 
 
 @dataclass(frozen=True)
+class FitRates:
+    """Per-component failure rates in FIT (failures per 10^9 hours).
+
+    The deterministic scenario enumeration answers "what happens *if*
+    this component dies"; FIT rates add "how often".  Rates attach to
+    scenarios via :meth:`scenario_fit` (see ``rates=`` on the
+    enumerators), and :meth:`CoverageReport.expected_availability
+    <repro.resilience.coverage.CoverageReport.expected_availability>`
+    folds them into a steady-state service-availability number.
+
+    ``repair_hours`` is the mean time to repair a failed component; it
+    sets the coincidence window for double faults and the unavailability
+    window (rate x MTTR) of every scenario.
+    """
+
+    link_fit: float = 10.0
+    switch_fit: float = 25.0
+    island_fit: float = 5.0
+    repair_hours: float = 8.0
+
+    def __post_init__(self) -> None:
+        for name in ("link_fit", "switch_fit", "island_fit"):
+            if getattr(self, name) < 0:
+                raise SpecError(
+                    "%s must be >= 0 FIT, got %r" % (name, getattr(self, name))
+                )
+        if self.repair_hours <= 0:
+            raise SpecError(
+                "repair_hours must be > 0, got %r" % self.repair_hours
+            )
+
+    def scenario_fit(self, scenario: "FaultScenario") -> float:
+        """Occurrence rate of one scenario, in FIT.
+
+        Single faults carry their component's rate (a switch or island
+        failure subsumes its attached links — they share the fault, not
+        add to it).  A double-link scenario is a *coincidence*: both
+        links must be down at once, so its rate is the standard
+        2 x lambda^2 x MTTR product, vanishingly small for sane inputs.
+        Unknown kinds fall back to an additive per-component bound.
+        """
+        if scenario.kind == "single_link":
+            return self.link_fit
+        if scenario.kind == "double_link":
+            lam = self.link_fit
+            return 2.0 * lam * lam * self.repair_hours / 1e9
+        if scenario.kind == "switch":
+            return self.switch_fit
+        if scenario.kind == "island":
+            return self.island_fit
+        return (
+            self.link_fit * len(scenario.failed_links)
+            + self.switch_fit * len(scenario.failed_switches)
+            + self.island_fit * len(scenario.failed_islands)
+        )
+
+
+@dataclass(frozen=True)
 class FaultScenario:
     """One deterministic failure scenario.
 
@@ -54,6 +113,11 @@ class FaultScenario:
     combine all three (a switch failure carries its links, an island
     failure carries its switches and their links).  The tuples are
     sorted so equal scenarios compare and serialize identically.
+
+    ``fit`` is the scenario's occurrence rate in FIT (failures per
+    10^9 hours); 0.0 means "not annotated" — the default, so the
+    deterministic analyses stay byte-identical unless the caller opts
+    into the probabilistic model via ``rates=`` on the enumerators.
     """
 
     name: str
@@ -61,12 +125,18 @@ class FaultScenario:
     failed_links: Tuple[int, ...] = ()
     failed_switches: Tuple[str, ...] = ()
     failed_islands: Tuple[int, ...] = ()
+    fit: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.name:
             raise SpecError("fault scenario needs a name")
         if not (self.failed_links or self.failed_switches or self.failed_islands):
             raise SpecError("fault scenario %r fails nothing" % self.name)
+        if self.fit < 0:
+            raise SpecError(
+                "fault scenario %r has negative FIT rate %r"
+                % (self.name, self.fit)
+            )
         object.__setattr__(self, "failed_links", tuple(sorted(self.failed_links)))
         object.__setattr__(
             self, "failed_switches", tuple(sorted(self.failed_switches))
@@ -134,17 +204,36 @@ def _sw_link_ids(topology: Topology) -> List[int]:
     return sorted(l.id for l in topology.links.values() if l.kind == "sw2sw")
 
 
-def single_link_failures(topology: Topology) -> List[FaultScenario]:
-    """One scenario per inter-switch link."""
+def _rated(
+    scenarios: List[FaultScenario], rates: Optional[FitRates]
+) -> List[FaultScenario]:
+    """Annotate scenarios with their FIT rate (no-op when rates is None)."""
+    if rates is None:
+        return scenarios
     return [
-        FaultScenario(
-            name="link%d" % lid, kind="single_link", failed_links=(lid,)
-        )
-        for lid in _sw_link_ids(topology)
+        dataclasses.replace(sc, fit=rates.scenario_fit(sc))
+        for sc in scenarios
     ]
 
 
-def double_link_failures(topology: Topology) -> List[FaultScenario]:
+def single_link_failures(
+    topology: Topology, rates: Optional[FitRates] = None
+) -> List[FaultScenario]:
+    """One scenario per inter-switch link."""
+    return _rated(
+        [
+            FaultScenario(
+                name="link%d" % lid, kind="single_link", failed_links=(lid,)
+            )
+            for lid in _sw_link_ids(topology)
+        ],
+        rates,
+    )
+
+
+def double_link_failures(
+    topology: Topology, rates: Optional[FitRates] = None
+) -> List[FaultScenario]:
     """One scenario per unordered pair of distinct inter-switch links."""
     ids = _sw_link_ids(topology)
     out: List[FaultScenario] = []
@@ -157,10 +246,12 @@ def double_link_failures(topology: Topology) -> List[FaultScenario]:
                     failed_links=(a, b),
                 )
             )
-    return out
+    return _rated(out, rates)
 
 
-def switch_failures(topology: Topology) -> List[FaultScenario]:
+def switch_failures(
+    topology: Topology, rates: Optional[FitRates] = None
+) -> List[FaultScenario]:
     """One scenario per switch; the switch takes every touching link."""
     out: List[FaultScenario] = []
     for sid in sorted(topology.switches):
@@ -177,10 +268,12 @@ def switch_failures(topology: Topology) -> List[FaultScenario]:
                 failed_switches=(sid,),
             )
         )
-    return out
+    return _rated(out, rates)
 
 
-def island_failures(topology: Topology) -> List[FaultScenario]:
+def island_failures(
+    topology: Topology, rates: Optional[FitRates] = None
+) -> List[FaultScenario]:
     """One scenario per gateable island (hard failure of the whole VI).
 
     The intermediate NoC island is excluded: it sits on the always-on
@@ -208,20 +301,22 @@ def island_failures(topology: Topology) -> List[FaultScenario]:
                 failed_islands=(isl,),
             )
         )
-    return out
+    return _rated(out, rates)
 
 
-def enumerate_scenarios(topology: Topology, model: str) -> List[FaultScenario]:
+def enumerate_scenarios(
+    topology: Topology, model: str, rates: Optional[FitRates] = None
+) -> List[FaultScenario]:
     """All scenarios of one fault model, by canonical name."""
     key = model.strip().lower().replace("-", "_")
     if key == "single_link":
-        return single_link_failures(topology)
+        return single_link_failures(topology, rates)
     if key == "double_link":
-        return double_link_failures(topology)
+        return double_link_failures(topology, rates)
     if key == "switch":
-        return switch_failures(topology)
+        return switch_failures(topology, rates)
     if key == "island":
-        return island_failures(topology)
+        return island_failures(topology, rates)
     raise SpecError(
         "unknown fault model %r (choose from %s)"
         % (model, ", ".join(FAULT_MODEL_NAMES))

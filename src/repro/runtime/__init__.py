@@ -47,6 +47,7 @@ from .report import (
 )
 from .simulate import (
     always_on_static_mw,
+    canonical_fault_events,
     certified_policy_comparison,
     compare_policies,
     island_economics,
@@ -80,6 +81,7 @@ __all__ = [
     "TraceSegment",
     "UseCaseTrace",
     "always_on_static_mw",
+    "canonical_fault_events",
     "certified_policy_comparison",
     "compare_policies",
     "day_in_the_life_trace",

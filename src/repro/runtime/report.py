@@ -14,9 +14,12 @@ stored in mJ so a 1 s trace of a 1 W SoC reads as 1000 mJ).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence, Tuple
 
 from ..arch.topology import FlowKey
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..control.telemetry import FaultRecovery, TelemetryEvent
 
 
 @dataclass(frozen=True)
@@ -151,6 +154,13 @@ class RuntimeReport:
     fault_delta_mj: float = 0.0
     #: Total one-time failover (detect + switchover) stall time.
     fault_stall_ms: float = 0.0
+    #: Per-fault recovery timelines when a reconfiguration controller
+    #: drove the replay (see
+    #: :class:`repro.control.telemetry.FaultRecovery`); empty under
+    #: the legacy omniscient fault model.
+    recoveries: Tuple["FaultRecovery", ...] = ()
+    #: The controller's telemetry stream, in canonical order.
+    telemetry: Tuple["TelemetryEvent", ...] = ()
 
     @property
     def total_mj(self) -> float:
@@ -179,6 +189,29 @@ class RuntimeReport:
     def degraded(self) -> bool:
         """True when any injected fault touched an active flow."""
         return bool(self.fault_impacts)
+
+    @property
+    def controlled(self) -> bool:
+        """True when a reconfiguration controller drove the faults."""
+        return bool(self.recoveries)
+
+    @property
+    def worst_recovery_ms(self) -> float:
+        """Largest fault-to-installed window over all recoveries."""
+        return max((r.failover_ms for r in self.recoveries), default=0.0)
+
+    @property
+    def recoveries_deadlock_free(self) -> bool:
+        """True when every installed routing passed its CDG audit."""
+        return all(
+            r.deadlock_free and r.restore_deadlock_free
+            for r in self.recoveries
+        )
+
+    @property
+    def lost_traffic_mbits(self) -> float:
+        """Undelivered traffic over every fault's outage window."""
+        return sum(r.lost_traffic_mbits for r in self.recoveries)
 
     @property
     def static_mj(self) -> float:

@@ -56,6 +56,7 @@ from .states import IslandState, IslandStateMachine
 from .trace import UseCaseTrace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..control.controller import ReconfigurationController
     from ..resilience.faults import FaultEvent
     from ..resilience.spare_paths import SparePlan
 
@@ -221,6 +222,52 @@ def _island_spans(
     return spans
 
 
+def canonical_fault_events(
+    events: Sequence["FaultEvent"],
+) -> List["FaultEvent"]:
+    """Deterministic, deduplicated form of a fault-event list.
+
+    Events sort by ``(start, end, scenario name, stall)`` — so the
+    caller's list order never leaks into the accounting — and
+    same-scenario windows that overlap (or touch) merge into one
+    event spanning their union, keeping the larger switchover stall.
+    Exact duplicates collapse to one event.  A component cannot fail
+    *again* while it is already failed: without the merge, duplicate
+    or overlapping injections double-charged the energy delta and
+    recorded two impacts for one physical fault.  ``event_index`` on
+    :class:`~repro.runtime.report.FaultImpact` refers to this
+    canonical list.
+    """
+    from ..resilience.faults import FaultEvent  # deferred: layering
+
+    ordered = sorted(
+        events,
+        key=lambda e: (e.start_ms, e.end_ms, e.scenario.name, e.reroute_stall_ms),
+    )
+    out: List[FaultEvent] = []
+    last_of: Dict[object, int] = {}
+    for ev in ordered:
+        j = last_of.get(ev.scenario)
+        if j is not None and ev.start_ms <= out[j].end_ms + 1e-12:
+            prev = out[j]
+            if (
+                ev.end_ms > prev.end_ms
+                or ev.reroute_stall_ms > prev.reroute_stall_ms
+            ):
+                out[j] = FaultEvent(
+                    scenario=prev.scenario,
+                    start_ms=prev.start_ms,
+                    end_ms=max(prev.end_ms, ev.end_ms),
+                    reroute_stall_ms=max(
+                        prev.reroute_stall_ms, ev.reroute_stall_ms
+                    ),
+                )
+        else:
+            last_of[ev.scenario] = len(out)
+            out.append(ev)
+    return out
+
+
 def simulate_trace(
     topology: Topology,
     trace: UseCaseTrace,
@@ -230,6 +277,7 @@ def simulate_trace(
     pinned_islands: Optional[Iterable[int]] = None,
     fault_events: Optional[Sequence["FaultEvent"]] = None,
     spare_plan: Optional["SparePlan"] = None,
+    controller: Optional["ReconfigurationController"] = None,
     _context: Optional[_TraceContext] = None,
 ) -> RuntimeReport:
     """Integrate energy (and verify routability) of a trace under a policy.
@@ -254,7 +302,24 @@ def simulate_trace(
     is lost for the window (its traffic energy stops, recorded as a
     ``lost`` :class:`~repro.runtime.report.FaultImpact`).  The
     topology must be the *protected* one the plan's backup routes
-    reference.
+    reference.  Events are canonicalized first
+    (:func:`canonical_fault_events`): order-independent, duplicates
+    collapsed, overlapping same-scenario windows merged.  Failover
+    stalls run concurrent with any wake ramp the flow is already
+    waiting out, so only the increment beyond the wake stall adds to
+    ``fault_stall_ms``.
+
+    ``controller`` replaces the omniscient same-tick fault model with
+    the closed-loop control plane
+    (:class:`repro.control.controller.ReconfigurationController`,
+    built for this same topology): faults walk the staged repair
+    pipeline (detected after a modeled latency, alternates installed
+    after an install latency, primaries restored after repair), the
+    report gains per-fault :attr:`~RuntimeReport.recoveries` timelines
+    and the :attr:`~RuntimeReport.telemetry` stream, and every
+    installed routing is audited for deadlock freedom.  When the
+    controller carries its own spare plan, ``spare_plan`` may be
+    omitted.
     """
     pinned = frozenset(pinned_islands or ())
     ctx = _context or _build_context(topology, trace, model)
@@ -334,6 +399,10 @@ def simulate_trace(
     # --- dynamic routability and per-flow wake-stall check ------------
     violations: List[RoutabilityViolation] = []
     flow_stall_ms: Dict[FlowKey, float] = {}
+    #: Wake stall per (segment, flow) — kept only when faults are
+    #: injected, so failover stalls can be charged *concurrent* with
+    #: the wake ramp the flow is already waiting out.
+    seg_wake: Dict[Tuple[int, FlowKey], float] = {}
     stalled_flows = 0
     if check_routability:
         for idx, (start, end, seg) in enumerate(boundaries):
@@ -367,17 +436,40 @@ def simulate_trace(
                         )
                 if seg_stall > 1e-12:
                     stalled_flows += 1
+                    if fault_events:
+                        seg_wake[(idx, key)] = seg_stall
                 flow_stall_ms[key] = max(flow_stall_ms.get(key, 0.0), seg_stall)
 
     # --- injected fault events: degraded-mode energy and stalls -------
     fault_impacts: List[FaultImpact] = []
     fault_delta_uj = 0.0
     fault_stall_total = 0.0
-    if fault_events:
+    recoveries: tuple = ()
+    telemetry: tuple = ()
+    if fault_events and controller is not None:
+        if controller.topology is not topology:
+            raise SpecError(
+                "controller was built for a different topology than the "
+                "one being simulated"
+            )
+        events = canonical_fault_events(fault_events)
+        outcome = controller.run(
+            events, boundaries, profiles, seg_wake, total_ms
+        )
+        fault_impacts = list(outcome.impacts)
+        fault_delta_uj = outcome.delta_uj
+        fault_stall_total = outcome.stall_ms
+        for key, stall in outcome.flow_stall_ms.items():
+            flow_stall_ms[key] = max(flow_stall_ms.get(key, 0.0), stall)
+        recoveries = outcome.recoveries
+        telemetry = outcome.telemetry
+    elif fault_events:
         # Deferred import: the resilience package sits above runtime in
         # the layering (its coverage module pulls in the objective
         # layer, which imports this module).
         from ..resilience.faults import endpoint_failed, route_affected
+
+        events = canonical_fault_events(fault_events)
 
         # (event index, use case) -> affected active flows with their
         # fate, power delta and failover latency; classification is
@@ -388,7 +480,7 @@ def simulate_trace(
             entries = fate_memo.get((ev_idx, use_case))
             if entries is not None:
                 return entries
-            scenario = fault_events[ev_idx].scenario
+            scenario = events[ev_idx].scenario
             entries = []
             for key, _islands in profiles[use_case].flow_islands:
                 route = topology.routes[key]
@@ -425,7 +517,7 @@ def simulate_trace(
 
         seen: Set[Tuple[int, FlowKey]] = set()
         for idx, (start, end, seg) in enumerate(boundaries):
-            for ev_idx, event in enumerate(fault_events):
+            for ev_idx, event in enumerate(events):
                 overlap = event.overlap_ms(start, end)
                 if overlap <= 1e-12:
                     continue
@@ -440,7 +532,14 @@ def simulate_trace(
                         event.reroute_stall_ms if fate == "rerouted" else 0.0
                     )
                     if stall > 0.0:
-                        fault_stall_total += stall
+                        # The failover switchover runs concurrent with
+                        # any wake ramp the flow is already waiting
+                        # out in this segment: the flow's wait is the
+                        # max of the two, so only the increment beyond
+                        # the wake stall is charged to the fault.
+                        fault_stall_total += max(
+                            0.0, stall - seg_wake.get((idx, key), 0.0)
+                        )
                         flow_stall_ms[key] = max(
                             flow_stall_ms.get(key, 0.0), stall
                         )
@@ -479,6 +578,8 @@ def simulate_trace(
         fault_impacts=tuple(fault_impacts),
         fault_delta_mj=fault_delta_uj * UJ_TO_MJ,
         fault_stall_ms=fault_stall_total,
+        recoveries=recoveries,
+        telemetry=telemetry,
     )
 
 

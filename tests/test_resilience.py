@@ -50,6 +50,7 @@ from repro.resilience import (
     FAULT_MODEL_NAMES,
     FaultEvent,
     FaultScenario,
+    FitRates,
     LOST,
     REROUTED,
     UNAFFECTED,
@@ -60,7 +61,12 @@ from repro.resilience import (
     single_link_failures,
     switch_failures,
 )
-from repro.runtime import make_policy, markov_trace, simulate_trace
+from repro.runtime import (
+    canonical_fault_events,
+    make_policy,
+    markov_trace,
+    simulate_trace,
+)
 from repro.soc.usecases import use_cases_for
 
 pytestmark = pytest.mark.resilience
@@ -391,6 +397,217 @@ class TestRuntimeFaults:
         )
         assert a.total_mj == b.total_mj
         assert not b.degraded and b.fault_delta_mj == 0.0
+
+
+# ----------------------------------------------------------------------
+# Fault-event canonicalization (injection hardening)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.runtime
+class TestFaultEventHardening:
+    def _scenario(self, prot):
+        for sc in enumerate_scenarios(prot.topology, "single_link"):
+            if any(
+                route_affected(sc, prot.topology, r)
+                for r in prot.topology.routes.values()
+            ):
+                return sc
+        pytest.skip("no live single-link scenario")
+
+    def _replay(self, prot, trace, events):
+        return simulate_trace(
+            prot.topology,
+            trace,
+            make_policy("never"),
+            fault_events=events,
+            spare_plan=prot.plan,
+        )
+
+    def test_canonical_sorts_and_dedups(self, tiny_protected):
+        sc = enumerate_scenarios(tiny_protected.topology, "single_link")[0]
+        a = FaultEvent(scenario=sc, start_ms=50.0, end_ms=80.0)
+        b = FaultEvent(scenario=sc, start_ms=10.0, end_ms=20.0)
+        out = canonical_fault_events([a, b, a])
+        assert [(e.start_ms, e.end_ms) for e in out] == [
+            (10.0, 20.0),
+            (50.0, 80.0),
+        ]
+
+    def test_canonical_merges_overlap_same_scenario(self, tiny_protected):
+        """A component cannot fail again while already failed: same-
+        scenario windows that overlap or touch merge into their union,
+        keeping the larger switchover stall."""
+        sc = enumerate_scenarios(tiny_protected.topology, "single_link")[0]
+        a = FaultEvent(scenario=sc, start_ms=10.0, end_ms=40.0)
+        b = FaultEvent(
+            scenario=sc, start_ms=30.0, end_ms=60.0, reroute_stall_ms=0.2
+        )
+        (merged,) = canonical_fault_events([a, b])
+        assert merged.start_ms == 10.0
+        assert merged.end_ms == 60.0
+        assert merged.reroute_stall_ms == pytest.approx(0.2)
+
+    def test_canonical_keeps_distinct_scenarios(self, tiny_protected):
+        scs = enumerate_scenarios(tiny_protected.topology, "single_link")
+        if len(scs) < 2:
+            pytest.skip("needs two sw2sw links")
+        a = FaultEvent(scenario=scs[0], start_ms=10.0, end_ms=40.0)
+        b = FaultEvent(scenario=scs[1], start_ms=30.0, end_ms=60.0)
+        assert len(canonical_fault_events([a, b])) == 2
+
+    def test_duplicate_events_equal_single(self, d26_protected, d26_trace):
+        prot = d26_protected
+        sc = self._scenario(prot)
+        ev = FaultEvent(scenario=sc, start_ms=0.0)
+        one = self._replay(prot, d26_trace, [ev])
+        dup = self._replay(prot, d26_trace, [ev, ev, ev])
+        assert dup.fault_impacts == one.fault_impacts
+        assert dup.fault_delta_mj == one.fault_delta_mj
+        assert dup.fault_stall_ms == one.fault_stall_ms
+
+    def test_event_order_is_irrelevant(self, d26_protected, d26_trace):
+        prot = d26_protected
+        scs = enumerate_scenarios(prot.topology, "single_link")
+        half = d26_trace.total_ms / 2.0
+        events = [
+            FaultEvent(scenario=scs[0], start_ms=half, end_ms=half + 100.0),
+            FaultEvent(scenario=scs[-1], start_ms=0.0, end_ms=half),
+        ]
+        fwd = self._replay(prot, d26_trace, events)
+        rev = self._replay(prot, d26_trace, list(reversed(events)))
+        assert fwd.fault_impacts == rev.fault_impacts
+        assert fwd.fault_delta_mj == rev.fault_delta_mj
+        assert fwd.fault_stall_ms == rev.fault_stall_ms
+
+    def test_overlapping_windows_equal_merged(self, d26_protected, d26_trace):
+        prot = d26_protected
+        sc = self._scenario(prot)
+        t = d26_trace.total_ms
+        split = [
+            FaultEvent(scenario=sc, start_ms=0.0, end_ms=0.5 * t),
+            FaultEvent(scenario=sc, start_ms=0.3 * t, end_ms=0.8 * t),
+        ]
+        merged = [FaultEvent(scenario=sc, start_ms=0.0, end_ms=0.8 * t)]
+        a = self._replay(prot, d26_trace, split)
+        b = self._replay(prot, d26_trace, merged)
+        assert a.fault_impacts == b.fault_impacts
+        assert a.fault_delta_mj == b.fault_delta_mj
+        assert a.fault_stall_ms == b.fault_stall_ms
+
+    def test_waking_overlap_never_double_charges(
+        self, d26_protected, d26_trace
+    ):
+        """The failover stall runs concurrent with any wake ramp the
+        flow is already waiting on, so a gating policy (which has wake
+        stalls) can only *reduce* the incremental fault stall relative
+        to the never-gate replay (which has none)."""
+        prot = d26_protected
+        sc = self._scenario(prot)
+        ev = FaultEvent(scenario=sc, start_ms=0.0)
+        never = self._replay(prot, d26_trace, [ev])
+        gated = simulate_trace(
+            prot.topology,
+            d26_trace,
+            make_policy("break_even"),
+            fault_events=[ev],
+            spare_plan=prot.plan,
+        )
+        assert gated.fault_impacts == never.fault_impacts
+        assert gated.fault_stall_ms <= never.fault_stall_ms + 1e-9
+        # The per-flow QoS number still sees the full switchover floor.
+        for imp in gated.fault_impacts:
+            if imp.stall_ms > 0:
+                assert gated.flow_stall_ms[imp.flow] >= 0.05 - 1e-12
+
+
+# ----------------------------------------------------------------------
+# Probabilistic fault model (FIT rates -> expected availability)
+# ----------------------------------------------------------------------
+
+
+class TestFitRates:
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            FitRates(link_fit=-1.0)
+        with pytest.raises(SpecError):
+            FitRates(repair_hours=0.0)
+        with pytest.raises(SpecError):
+            FaultScenario(
+                name="l0", kind="single_link", failed_links=(0,), fit=-5.0
+            )
+
+    def test_scenario_fit_by_kind(self):
+        rates = FitRates(link_fit=10.0, switch_fit=25.0, island_fit=5.0)
+        link = FaultScenario(name="l", kind="single_link", failed_links=(0,))
+        sw = FaultScenario(
+            name="s", kind="switch", failed_links=(0,), failed_switches=("sw0",)
+        )
+        isl = FaultScenario(
+            name="i", kind="island", failed_links=(0,), failed_islands=(1,)
+        )
+        assert rates.scenario_fit(link) == 10.0
+        assert rates.scenario_fit(sw) == 25.0
+        assert rates.scenario_fit(isl) == 5.0
+
+    def test_double_link_is_coincidence(self):
+        rates = FitRates(link_fit=10.0, repair_hours=8.0)
+        double = FaultScenario(
+            name="d", kind="double_link", failed_links=(0, 1)
+        )
+        expected = 2.0 * 10.0 * 10.0 * 8.0 / 1e9
+        assert rates.scenario_fit(double) == pytest.approx(expected)
+        # Vanishingly rarer than either single fault.
+        assert rates.scenario_fit(double) < 1e-3 * rates.link_fit
+
+    def test_enumeration_annotates_only_on_request(self, tiny_best):
+        topo = tiny_best.topology
+        plain = enumerate_scenarios(topo, "single_link")
+        rated = enumerate_scenarios(topo, "single_link", rates=FitRates())
+        assert all(sc.fit == 0.0 for sc in plain)
+        assert all(sc.fit == 10.0 for sc in rated)
+        # Identical apart from the annotation.
+        assert [sc.name for sc in rated] == [sc.name for sc in plain]
+
+    def test_protection_raises_availability(self, d26_best, d26_protected):
+        rates = FitRates()
+        base = analyze_model(d26_best.topology, "single_link", rates=rates)
+        prot = analyze_model(
+            d26_protected.topology,
+            "single_link",
+            plan=d26_protected.plan,
+            rates=rates,
+        )
+        a_base = base.expected_availability(rates.repair_hours)
+        a_prot = prot.expected_availability(rates.repair_hours)
+        assert 0.0 < a_base < 1.0  # some flows are lost somewhere
+        assert a_prot == pytest.approx(1.0)  # full k=1 coverage
+        assert a_prot >= a_base
+        assert base.downtime_minutes_per_year(rates.repair_hours) > 0.0
+
+    def test_summary_fields_gated_on_fit(self, tiny_protected):
+        topo = tiny_protected.topology
+        plain = analyze_model(topo, "single_link", plan=tiny_protected.plan)
+        rated = analyze_model(
+            topo, "single_link", plan=tiny_protected.plan, rates=FitRates()
+        )
+        assert not plain.has_fit
+        assert "expected_availability" not in plain.summary()
+        assert rated.has_fit
+        summary = rated.summary()
+        assert 0.0 <= summary["expected_availability"] <= 1.0
+        assert summary["downtime_min_year"] >= 0.0
+        json.dumps(summary)
+
+    def test_availability_rejects_bad_repair_window(self, tiny_protected):
+        rep = analyze_model(
+            tiny_protected.topology,
+            "single_link",
+            plan=tiny_protected.plan,
+            rates=FitRates(),
+        )
+        with pytest.raises(SpecError):
+            rep.expected_availability(repair_hours=0.0)
 
 
 # ----------------------------------------------------------------------
