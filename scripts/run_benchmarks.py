@@ -44,6 +44,13 @@ d26 through the closed-loop reconfiguration controller and records
 recovery-time percentiles, the degraded-window energy delta, and the
 deadlock-audit verdicts (see docs/control_plane.md); its determinism
 and deadlock-freedom flags also participate in the exit code.
+The observability section measures the span/metric instrumentation
+overhead on the largest scaling size (gated at <2%), byte-compares the
+Chrome-trace and JSON-lines exports of two identical traced runs
+(durations excluded), and checks that a ``workers=2`` sweep merges
+span streams from at least two distinct worker pids into one trace
+(see docs/observability.md); all three flags participate in the exit
+code, and ``--obs-trace PATH`` writes the merged Perfetto trace.
 
 Usage::
 
@@ -632,6 +639,177 @@ def run_control_plane(
     return out
 
 
+def run_observability(
+    sizes: List[int],
+    obs_trace_path: Optional[str] = None,
+    reps: int = 5,
+    merge_attempts: int = 3,
+) -> Dict[str, object]:
+    """Overhead, export determinism and cross-process merge checks.
+
+    Three gates, all folded into the harness exit code:
+
+    * **overhead_ok** — the largest scaling size is synthesized in
+      ``reps`` adjacent window pairs: recorder-only (exactly what
+      :func:`run_scaling` already runs under) vs recorder *plus* an
+      active :class:`SpanRecorder` — i.e. the marginal cost of the
+      span layer on top of the status-quo scaling bench.  Each pair
+      yields an overhead fraction and the *minimum* pair must stay
+      under 2%.  Shared single-CPU hosts show several percent of
+      wall-clock noise between adjacent windows, which only ever
+      inflates a pair — the min is the tightest available estimate of
+      the tracing's intrinsic cost, and a span accidentally placed on
+      a hot (per-edge) path blows past 2% in every pair;
+    * **deterministic_exports** — two traced runs of the smallest size
+      must export byte-identical Chrome-trace event sequences and
+      JSON-lines logs with ``timing=False`` (span ids, order,
+      attributes — everything but the measured durations);
+    * **merged_worker_trace** — an alpha sweep on a ``workers=2`` pool
+      under an active tracer must produce one merged trace whose
+      ``task*`` streams carry at least two distinct worker pids (and
+      whose merged perf counters are non-empty — the parallel-sweep
+      counter-loss regression check).  A 2-worker pool on a loaded
+      host can legitimately drain every task through one worker, so
+      the check retries up to ``merge_attempts`` times.
+
+    With ``obs_trace_path`` the merged multi-process trace is written
+    as Perfetto-loadable ``trace_event`` JSON (timing included).
+    """
+    from repro.obs import (  # noqa: E402
+        SpanRecorder,
+        chrome_trace_events,
+        chrome_trace_json,
+        span_log_lines,
+        tracing,
+    )
+
+    t_section = time.perf_counter()
+    # --- instrumentation overhead (largest size, interleaved reps) ----
+    # A single synthesize of even the largest sweep size runs in tens
+    # of milliseconds, where scheduler noise dwarfs a 2% effect; each
+    # timing sample therefore loops enough back-to-back calls to fill
+    # ~0.25s, and the verdict is min-of-``reps`` interleaved samples.
+    big = _scaling_spec(max(sizes))
+    t0 = time.perf_counter()
+    synthesize(big, config=FAST)  # warm-up; also sizes the inner loop
+    single_s = time.perf_counter() - t0
+    inner = max(1, int(round(0.25 / max(single_s, 1e-9))))
+    fractions: List[float] = []
+    plain_s = instr_s = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        with recording(PerfRecorder()):
+            for _ in range(inner):
+                synthesize(big, config=FAST)
+        plain = (time.perf_counter() - t0) / inner
+        t0 = time.perf_counter()
+        with recording(PerfRecorder()), tracing(SpanRecorder()):
+            for _ in range(inner):
+                synthesize(big, config=FAST)
+        instr = (time.perf_counter() - t0) / inner
+        fractions.append((instr - plain) / plain if plain > 0 else 0.0)
+        plain_s = min(plain_s, plain)
+        instr_s = min(instr_s, instr)
+    overhead_fraction = min(fractions)
+    overhead_ok = overhead_fraction < 0.02
+    print(
+        "  overhead: recorder-only %.4fs vs recorder+tracer %.4fs "
+        "(best pair %+.2f%%, gate <2%%) -> %s"
+        % (
+            plain_s,
+            instr_s,
+            100.0 * overhead_fraction,
+            "PASS" if overhead_ok else "FAIL",
+        )
+    )
+
+    # --- export determinism (two identical traced runs) ---------------
+    small = _scaling_spec(min(sizes))
+    exports: List[tuple] = []
+    span_count = 0
+    for _ in range(2):
+        tracer = SpanRecorder()
+        with tracing(tracer):
+            synthesize(small, config=FAST)
+        span_count = len(tracer.spans)
+        exports.append(
+            (
+                json.dumps(chrome_trace_events(tracer, timing=False), sort_keys=True),
+                "\n".join(span_log_lines(tracer, timing=False)),
+            )
+        )
+    deterministic_exports = exports[0] == exports[1]
+    if not deterministic_exports:
+        print("  WARNING: traced reruns exported different event sequences!", file=sys.stderr)
+    print(
+        "  export determinism: %d spans/run, byte-identical=%s"
+        % (span_count, deterministic_exports)
+    )
+
+    # --- cross-process merge (workers=2 sweep into one trace) ---------
+    alphas = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]
+    worker_pids: set = set()
+    task_spans = 0
+    counters_merged = False
+    merged_tracer: Optional[SpanRecorder] = None
+    for attempt in range(merge_attempts):
+        rec = PerfRecorder()
+        tracer = SpanRecorder()
+        with recording(rec), tracing(tracer):
+            with ExplorationEngine(workers=2, config=FAST) as engine:
+                engine.alpha_exploration(small, alphas)
+        worker_pids = {
+            pid for label, pid in tracer.process_meta.items() if label != "main"
+        }
+        task_spans = sum(1 for s in tracer.spans if s.process != "main")
+        counters_merged = bool(rec.counters)
+        merged_tracer = tracer
+        if len(worker_pids) >= 2:
+            break
+        print(
+            "  (attempt %d: one worker drained every task, retrying)"
+            % (attempt + 1)
+        )
+    merged_worker_trace = (
+        len(worker_pids) >= 2 and task_spans > 0 and counters_merged
+    )
+    print(
+        "  merged worker trace: %d task spans from %d worker pid(s), "
+        "counters_merged=%s -> %s"
+        % (
+            task_spans,
+            len(worker_pids),
+            counters_merged,
+            "PASS" if merged_worker_trace else "FAIL",
+        )
+    )
+    if obs_trace_path and merged_tracer is not None:
+        with open(obs_trace_path, "w", encoding="utf-8") as f:
+            f.write(chrome_trace_json(merged_tracer, timing=True))
+            f.write("\n")
+        print("  wrote Perfetto trace %s" % obs_trace_path)
+
+    return {
+        "overhead": {
+            "cores": max(sizes),
+            "reps": reps,
+            "inner_loops": inner,
+            "plain_seconds": round(plain_s, 6),
+            "instrumented_seconds": round(instr_s, 6),
+            "pair_fractions": [round(f, 6) for f in fractions],
+            "fraction": round(overhead_fraction, 6),
+        },
+        "overhead_ok": overhead_ok,
+        "spans_per_run": span_count,
+        "deterministic_exports": deterministic_exports,
+        "worker_pids": len(worker_pids),
+        "task_spans": task_spans,
+        "counters_merged": counters_merged,
+        "merged_worker_trace": merged_worker_trace,
+        "seconds": round(time.perf_counter() - t_section, 4),
+    }
+
+
 def previous_comparable_total(history_dir: str, sizes: List[int]) -> Optional[Dict[str, object]]:
     """Scaling total of the newest archived snapshot with these sizes.
 
@@ -856,6 +1034,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="N",
         help="after archiving, retain only the newest N history snapshots",
     )
+    parser.add_argument(
+        "--obs-trace",
+        default=None,
+        metavar="PATH",
+        help="write the merged multi-process Perfetto trace JSON here",
+    )
     args = parser.parse_args(argv)
     if args.keep is not None and args.keep < 1:
         parser.error("--keep must be >= 1")
@@ -894,6 +1078,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     control_plane = run_control_plane(
         max_scenarios=4 if args.quick else None
     )
+    print("observability (overhead, export determinism, merged worker trace):")
+    observability = run_observability(sizes, obs_trace_path=args.obs_trace)
 
     result: Dict[str, object] = {
         "meta": {
@@ -911,6 +1097,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "runtime_shutdown": runtime_shutdown,
         "resilience": resilience,
         "control_plane": control_plane,
+        "observability": observability,
     }
     if args.baseline_seconds is not None:
         result["baseline"] = {
@@ -946,6 +1133,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         and resilience["deterministic"]
         and control_plane["deterministic"]
         and control_plane["all_deadlock_free"]
+        and observability["overhead_ok"]
+        and observability["deterministic_exports"]
+        and observability["merged_worker_trace"]
     ) else 1
 
 

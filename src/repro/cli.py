@@ -36,6 +36,11 @@ Subcommands
     fail affected flows over, and restore primaries on repair — with
     the staged recovery timeline and telemetry stream printed (see
     docs/control_plane.md).
+``obs``
+    Observability dashboard over a traced, controlled replay: span
+    phase breakdown, controller recovery timeline, island-state Gantt
+    rows and top-N counters, with Chrome-trace / JSON-lines /
+    Prometheus exports (see docs/observability.md).
 
 Examples::
 
@@ -46,6 +51,7 @@ Examples::
     repro-noc runtime --benchmark d26_media --policy break_even
     repro-noc resilience d26_media --islands 6 --spare-k 1 --per-scenario
     repro-noc control d26_media --islands 6 --spare-k 1 --telemetry
+    repro-noc obs d26_media --islands 6 --chrome-trace trace.json
 """
 
 from __future__ import annotations
@@ -486,7 +492,41 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     return 0 if prot_report.coverage >= args.min_coverage - 1e-12 else 1
 
 
-def _cmd_control(args: argparse.Namespace) -> int:
+def _pick_scenario(scenarios, requested, topology):
+    """Resolve a fault scenario by name, index, or the live default."""
+    if requested is not None:
+        by_name = {sc.name: sc for sc in scenarios}
+        if requested in by_name:
+            return by_name[requested]
+        try:
+            return scenarios[int(requested)]
+        except (ValueError, IndexError):
+            raise ReproError(
+                "unknown scenario %r (%d scenarios: %s ...)"
+                % (requested, len(scenarios), scenarios[0].name)
+            )
+    # Default to the first scenario that actually hits a primary
+    # route — a fault nothing uses makes a boring demo.
+    return next(
+        (
+            sc
+            for sc in scenarios
+            if any(
+                route_affected(sc, topology, r)
+                for r in topology.routes.values()
+            )
+        ),
+        scenarios[0],
+    )
+
+
+def _controlled_replay(args: argparse.Namespace):
+    """Synthesize, protect, and replay under the controller.
+
+    The shared setup of ``control`` and ``obs``: returns
+    ``(trace, scenario, event, report)`` for the benchmark's best
+    design point with a single injected fault scenario.
+    """
     spec = _partitioned(args.benchmark, args.islands, args.strategy)
     best = synthesize(spec, config=SynthesisConfig(seed=args.seed)).best_by_power()
     prot = protect_design_point(best, k=args.spare_k)
@@ -502,32 +542,7 @@ def _cmd_control(args: argparse.Namespace) -> int:
         raise ReproError(
             "no %s scenarios on this topology" % args.fault_model
         )
-    if args.scenario is not None:
-        by_name = {sc.name: sc for sc in scenarios}
-        if args.scenario in by_name:
-            scenario = by_name[args.scenario]
-        else:
-            try:
-                scenario = scenarios[int(args.scenario)]
-            except (ValueError, IndexError):
-                raise ReproError(
-                    "unknown scenario %r (%d scenarios: %s ...)"
-                    % (args.scenario, len(scenarios), scenarios[0].name)
-                )
-    else:
-        # Default to the first scenario that actually hits a primary
-        # route — a fault nothing uses makes a boring demo.
-        scenario = next(
-            (
-                sc
-                for sc in scenarios
-                if any(
-                    route_affected(sc, topology, r)
-                    for r in topology.routes.values()
-                )
-            ),
-            scenarios[0],
-        )
+    scenario = _pick_scenario(scenarios, args.scenario, topology)
     event = FaultEvent(
         scenario=scenario,
         start_ms=args.fault_start * trace.total_ms,
@@ -548,6 +563,11 @@ def _cmd_control(args: argparse.Namespace) -> int:
         spare_plan=prot.plan,
         controller=controller,
     )
+    return trace, scenario, event, report
+
+
+def _cmd_control(args: argparse.Namespace) -> int:
+    trace, scenario, event, report = _controlled_replay(args)
     print(
         format_table(
             recovery_rows(report.recoveries),
@@ -566,6 +586,11 @@ def _cmd_control(args: argparse.Namespace) -> int:
     if args.telemetry:
         for ev in report.telemetry:
             print(ev.describe())
+    if args.telemetry_out:
+        from .obs import telemetry_log_lines, write_lines
+
+        n = write_lines(args.telemetry_out, telemetry_log_lines(report.telemetry))
+        print("wrote %s (%d events)" % (args.telemetry_out, n))
     print(
         "worst recovery %.4f ms | lost traffic %.3f Mbit | "
         "degraded-mode energy %+.6f mJ | routable %s | deadlock-free %s"
@@ -577,6 +602,69 @@ def _cmd_control(args: argparse.Namespace) -> int:
             report.recoveries_deadlock_free,
         )
     )
+    return 0 if report.routable and report.recoveries_deadlock_free else 1
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from .obs import (
+        MetricsRegistry,
+        SpanRecorder,
+        chrome_trace_json,
+        prometheus_text,
+        record_control_metrics,
+        record_runtime_metrics,
+        render_dashboard,
+        render_html,
+        span_log_lines,
+        telemetry_log_lines,
+        tracing,
+        write_lines,
+    )
+    from .perf import PerfRecorder, recording
+
+    with recording(PerfRecorder()) as rec, tracing(SpanRecorder()) as tracer:
+        trace, scenario, event, report = _controlled_replay(args)
+    registry = MetricsRegistry()
+    registry.absorb_perf(rec)
+    record_runtime_metrics(registry, report)
+    record_control_metrics(registry, report)
+    title = "%s, %d islands: %s under fault %s (%.1f-%.1f ms of %.0f ms)" % (
+        args.benchmark,
+        args.islands,
+        trace.name,
+        scenario.name,
+        event.start_ms,
+        event.end_ms,
+        trace.total_ms,
+    )
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(
+                render_html(
+                    tracer=tracer, registry=registry, report=report,
+                    title=title, top=args.top,
+                )
+            )
+        print("wrote %s" % args.html)
+    else:
+        print(
+            render_dashboard(
+                tracer=tracer, registry=registry, report=report,
+                title=title, top=args.top,
+            )
+        )
+    if args.chrome_trace:
+        with open(args.chrome_trace, "w", encoding="utf-8") as fh:
+            fh.write(chrome_trace_json(tracer))
+        print("wrote %s (load in ui.perfetto.dev)" % args.chrome_trace)
+    if args.events:
+        lines = span_log_lines(tracer) + telemetry_log_lines(report.telemetry)
+        n = write_lines(args.events, lines)
+        print("wrote %s (%d events)" % (args.events, n))
+    if args.prom:
+        with open(args.prom, "w", encoding="utf-8") as fh:
+            fh.write(prometheus_text(registry))
+        print("wrote %s" % args.prom)
     return 0 if report.routable and report.recoveries_deadlock_free else 1
 
 
@@ -734,59 +822,91 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_res.set_defaults(func=_cmd_resilience)
 
+    def control_knobs(p: argparse.ArgumentParser) -> None:
+        """Controlled-replay knobs shared by ``control`` and ``obs``."""
+        common(p)
+        _add_fault_args(p)
+        p.add_argument(
+            "--scenario",
+            help="fault scenario to inject, by name or index "
+            "(default: first scenario hitting a primary route)",
+        )
+        p.add_argument(
+            "--policy",
+            choices=POLICY_NAMES,
+            default="break_even",
+            help="gating policy the trace replays under",
+        )
+        p.add_argument(
+            "--segments", type=int, default=96, help="trace length in segments"
+        )
+        p.add_argument(
+            "--dwell-ms", type=float, default=40.0, help="mean mode dwell time"
+        )
+        p.add_argument(
+            "--fault-start",
+            type=float,
+            default=0.25,
+            help="fault onset as a fraction of the trace length",
+        )
+        p.add_argument(
+            "--fault-end",
+            type=float,
+            default=0.6,
+            help="component repair time as a fraction of the trace length",
+        )
+        p.add_argument(
+            "--detection-ms",
+            type=float,
+            default=0.02,
+            help="base telemetry detection latency",
+        )
+        p.add_argument(
+            "--install-ms",
+            type=float,
+            default=0.01,
+            help="base routing-table install latency",
+        )
+
     p_ctl = sub.add_parser(
         "control",
         help="closed-loop fault recovery on a runtime trace",
     )
-    common(p_ctl)
-    _add_fault_args(p_ctl)
-    p_ctl.add_argument(
-        "--scenario",
-        help="fault scenario to inject, by name or index "
-        "(default: first scenario hitting a primary route)",
-    )
-    p_ctl.add_argument(
-        "--policy",
-        choices=POLICY_NAMES,
-        default="break_even",
-        help="gating policy the trace replays under",
-    )
-    p_ctl.add_argument(
-        "--segments", type=int, default=96, help="trace length in segments"
-    )
-    p_ctl.add_argument(
-        "--dwell-ms", type=float, default=40.0, help="mean mode dwell time"
-    )
-    p_ctl.add_argument(
-        "--fault-start",
-        type=float,
-        default=0.25,
-        help="fault onset as a fraction of the trace length",
-    )
-    p_ctl.add_argument(
-        "--fault-end",
-        type=float,
-        default=0.6,
-        help="component repair time as a fraction of the trace length",
-    )
-    p_ctl.add_argument(
-        "--detection-ms",
-        type=float,
-        default=0.02,
-        help="base telemetry detection latency",
-    )
-    p_ctl.add_argument(
-        "--install-ms",
-        type=float,
-        default=0.01,
-        help="base routing-table install latency",
-    )
+    control_knobs(p_ctl)
     p_ctl.add_argument(
         "--telemetry",
         action="store_true",
         help="print the controller's full telemetry stream",
     )
+    p_ctl.add_argument(
+        "--telemetry-out",
+        help="write the telemetry stream as a JSON-lines event log",
+    )
     p_ctl.set_defaults(func=_cmd_control)
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="observability dashboard over a traced, controlled replay",
+    )
+    control_knobs(p_obs)
+    p_obs.add_argument(
+        "--html", help="write the dashboard as a static HTML page instead"
+    )
+    p_obs.add_argument(
+        "--chrome-trace",
+        help="write the span trace as Chrome/Perfetto trace_event JSON",
+    )
+    p_obs.add_argument(
+        "--events",
+        help="write spans + telemetry as a JSON-lines event log",
+    )
+    p_obs.add_argument(
+        "--prom", help="write the metrics registry in Prometheus text format"
+    )
+    p_obs.add_argument(
+        "--top", type=int, default=10, help="counters shown in the top-N panel"
+    )
+    p_obs.set_defaults(func=_cmd_obs)
 
     return parser
 

@@ -52,6 +52,7 @@ from ..arch.routing import find_cdg_cycle, is_deadlock_free
 from ..arch.topology import FlowKey, Route, Topology
 from ..core.paths import PathAllocator
 from ..exceptions import SpecError
+from ..obs.spans import span
 from ..power.noc_power import route_traffic_power_mw
 from ..resilience.faults import (
     FaultEvent,
@@ -168,6 +169,16 @@ class ReconfigurationController:
         memo = self._decisions.get(scenario)
         if memo is not None:
             return memo
+        with span("control.decide", scenario=scenario.name) as s:
+            out = self._decide(scenario)
+            if s is not None:
+                s.set(
+                    deadlock_free=out.deadlock_free,
+                    lost=sum(1 for a in out.actions if a.action == ACTION_LOST),
+                )
+            return out
+
+    def _decide(self, scenario: FaultScenario) -> ControlDecision:
         topo = self.topology
         plan = self.spare_plan
         actions: List[FlowDecision] = []
@@ -281,6 +292,20 @@ class ReconfigurationController:
         stalls run concurrent with wake ramps, so only the increment
         beyond the wake stall is charged to the fault.
         """
+        with span("control.run", events=len(events)) as s:
+            outcome = self._run(events, boundaries, profiles, seg_wake, total_ms)
+            if s is not None:
+                s.set(recoveries=len(outcome.recoveries))
+            return outcome
+
+    def _run(
+        self,
+        events: Sequence[FaultEvent],
+        boundaries: Sequence[Tuple[float, float, object]],
+        profiles: Mapping[str, object],
+        seg_wake: Mapping[Tuple[int, FlowKey], float],
+        total_ms: float,
+    ) -> ControlOutcome:
         lat = self.latency
         topo = self.topology
         spec = topo.spec

@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import InfeasibleError, SpecError
+from ..obs.spans import SpanRecorder, active_tracer, span, tracing
+from ..perf.instrument import PerfRecorder, active_recorder, recording
 from ..power.gating import GatingModel
 from ..power.library import DEFAULT_LIBRARY, NocLibrary
 from ..runtime.trace import UseCaseTrace
@@ -138,28 +140,29 @@ def _run_one(
 ) -> SweepRecord:
     t0 = time.perf_counter()
     design_points = 0
-    try:
-        space = synthesize(spec, library, config)
-        design_points = len(space)
-        point = select(space)
-        return SweepRecord(
-            knobs=dict(knobs),
-            point=point,
-            design_points=design_points,
-            elapsed_s=time.perf_counter() - t0,
-            extras=_selector_columns(select, point),
-        )
-    except InfeasibleError as exc:
-        # Either the sweep found no routable candidate, or the
-        # objective rejected every one (QoS): both are infeasible rows.
-        return SweepRecord(
-            knobs=dict(knobs),
-            point=None,
-            design_points=design_points,
-            elapsed_s=time.perf_counter() - t0,
-            failure=str(exc),
-            extras={k: INFEASIBLE for k in _selector_column_names(select)},
-        )
+    with span("explore.task", **dict(knobs)):
+        try:
+            space = synthesize(spec, library, config)
+            design_points = len(space)
+            point = select(space)
+            return SweepRecord(
+                knobs=dict(knobs),
+                point=point,
+                design_points=design_points,
+                elapsed_s=time.perf_counter() - t0,
+                extras=_selector_columns(select, point),
+            )
+        except InfeasibleError as exc:
+            # Either the sweep found no routable candidate, or the
+            # objective rejected every one (QoS): both are infeasible rows.
+            return SweepRecord(
+                knobs=dict(knobs),
+                point=None,
+                design_points=design_points,
+                elapsed_s=time.perf_counter() - t0,
+                failure=str(exc),
+                extras={k: INFEASIBLE for k in _selector_column_names(select)},
+            )
 
 
 def _execute_task(task: SweepTask) -> SweepRecord:
@@ -193,6 +196,10 @@ class _TaskDescriptor:
     library_diff: Optional[Mapping[str, object]] = None
     library_full: Optional[NocLibrary] = None
     select: Optional[Callable[[DesignSpace], DesignPoint]] = None
+    #: When set, the worker records the task under fresh perf/span
+    #: recorders and ships their snapshots home alongside the record —
+    #: the parent merges them so parallel sweeps lose no observability.
+    collect_obs: bool = False
 
 
 #: Per-worker sweep context installed by :func:`_pool_init`:
@@ -216,8 +223,14 @@ def _pool_init(
     _WORKER_CONTEXT = (list(specs), library, config, select)
 
 
-def _execute_descriptor(desc: _TaskDescriptor) -> SweepRecord:
-    """Rehydrate a descriptor against the worker context and run it."""
+def _execute_descriptor(desc: _TaskDescriptor):
+    """Rehydrate a descriptor against the worker context and run it.
+
+    Returns ``(record, obs_payload)``: the payload is ``None`` unless
+    the descriptor asked for observability capture, in which case it
+    carries the worker-side :class:`PerfRecorder` and
+    :class:`SpanRecorder` snapshots for the parent to merge.
+    """
     assert _WORKER_CONTEXT is not None, "worker pool not initialized"
     specs, base_library, base_config, base_select = _WORKER_CONTEXT
     spec = specs[desc.spec_index]
@@ -232,7 +245,11 @@ def _execute_descriptor(desc: _TaskDescriptor) -> SweepRecord:
     elif desc.library_diff:
         library = dataclasses.replace(base_library, **dict(desc.library_diff))
     select = desc.select if desc.select is not None else base_select
-    return _run_one(spec, library, config, desc.knobs, select)
+    if not desc.collect_obs:
+        return _run_one(spec, library, config, desc.knobs, select), None
+    with recording(PerfRecorder()) as rec, tracing(SpanRecorder()) as tracer:
+        record = _run_one(spec, library, config, desc.knobs, select)
+    return record, {"perf": rec.snapshot(), "spans": tracer.snapshot()}
 
 
 def _dataclass_diff(base: object, value: object):
@@ -407,10 +424,23 @@ class ExplorationEngine:
     # -- execution -----------------------------------------------------
 
     def run(self, tasks: Sequence[SweepTask]) -> List[SweepRecord]:
-        """Execute tasks, preserving input order in the output."""
+        """Execute tasks, preserving input order in the output.
+
+        When the caller has an active :func:`~repro.perf.active_recorder`
+        or :func:`~repro.obs.active_tracer`, parallel runs ask each
+        worker to capture its own perf/span snapshots and merge them
+        back here — serial and parallel sweeps then observe the same
+        counters (workers used to drop them silently).  Merged worker
+        span streams are relabelled ``task<i>`` by submission index, so
+        the combined trace stays deterministic even though worker pids
+        and scheduling are not.
+        """
         tasks = list(tasks)
         if self.workers == 1 or len(tasks) <= 1:
             return [_execute_task(t) for t in tasks]
+        parent_rec = active_recorder()
+        parent_tracer = active_tracer()
+        collect = parent_rec is not None or parent_tracer is not None
         specs: List[SoCSpec] = []
         spec_index: Dict[int, int] = {}
         descriptors: List[_TaskDescriptor] = []
@@ -431,16 +461,27 @@ class ExplorationEngine:
                     library_diff=lib_diff or None,
                     library_full=lib_full,
                     select=None if t.select is self.select else t.select,
+                    collect_obs=collect,
                 )
             )
         pool = self._ensure_pool(specs)
         try:
-            return list(pool.map(_execute_descriptor, descriptors, chunksize=1))
+            results = list(pool.map(_execute_descriptor, descriptors, chunksize=1))
         except Exception:
             # A broken pool (worker crash, unpicklable payload) stays
             # broken; drop it so the next run starts clean.
             self.close()
             raise
+        records: List[SweepRecord] = []
+        for i, (record, payload) in enumerate(results):
+            records.append(record)
+            if payload is None:
+                continue
+            if parent_rec is not None:
+                parent_rec.merge_snapshot(payload["perf"])
+            if parent_tracer is not None:
+                parent_tracer.merge(payload["spans"], process="task%d" % i)
+        return records
 
     def task(
         self,

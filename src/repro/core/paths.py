@@ -94,6 +94,7 @@ from ..arch.topology import (
     ni_id,
 )
 from ..exceptions import SynthesisError
+from ..obs.spans import span
 from ..perf.instrument import active_recorder
 from ..power.library import NocLibrary
 from .frequency import IslandPlan, intermediate_island_freq_mhz
@@ -787,6 +788,22 @@ class PathAllocator:
         directly; returns ``(route, zero_load_latency_cycles)`` or
         ``None`` when no surviving path exists.
         """
+        with span("paths.route_around", flow="%s->%s" % key) as s:
+            found = self._route_around(
+                topo, key, forbidden_links, blocked_switches, reserved
+            )
+            if s is not None:
+                s.set(found=found is not None)
+            return found
+
+    def _route_around(
+        self,
+        topo: Topology,
+        key: FlowKey,
+        forbidden_links: Iterable[int],
+        blocked_switches: Iterable[str] = (),
+        reserved: Optional[Mapping[int, float]] = None,
+    ) -> Optional[Tuple[Route, int]]:
         route = topo.routes.get(key)
         if route is None:
             return None

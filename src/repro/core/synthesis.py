@@ -34,6 +34,7 @@ from ..exceptions import InfeasibleError, PartitionError, SynthesisError
 from ..floorplan.annealer import AnnealConfig, anneal_placement
 from ..floorplan.placer import Floorplan, FloorplanConfig, place
 from ..floorplan.wires import assign_wire_lengths
+from ..obs.spans import span
 from ..perf.instrument import active_recorder, maybe_phase
 from ..power.library import DEFAULT_LIBRARY, NocLibrary
 from ..power.noc_power import compute_noc_power
@@ -139,6 +140,22 @@ def synthesize(
         catch it or inspect ``DesignSpace.failures``.)
     """
     cfg = config or SynthesisConfig()
+    with span(
+        "synthesis",
+        spec=spec.name,
+        islands=spec.num_islands,
+        kernel=cfg.kernel,
+    ) as s:
+        space = _synthesize_sweep(spec, library, cfg)
+        if s is not None:
+            s.set(design_points=len(space))
+        return space
+
+
+def _synthesize_sweep(
+    spec: SoCSpec, library: NocLibrary, cfg: SynthesisConfig
+) -> DesignSpace:
+    """The Algorithm-1 sweep body (root span opened by :func:`synthesize`)."""
     plans = plan_all_islands(spec, library, cfg.freq_step_mhz, cfg.min_freq_mhz)
     vcgs = build_all_vcgs(spec, cfg.alpha)
     space = DesignSpace(spec_name=spec.name, objective=cfg.objective)
@@ -186,7 +203,7 @@ def synthesize(
         seen_counts.add(counts_key)
 
         try:
-            with maybe_phase("partitioning"):
+            with maybe_phase("partitioning"), span("partition", sweep_i=i):
                 partitions = _partition_islands(
                     spec, vcgs, plans, counts, cfg, part_cache
                 )
@@ -211,8 +228,12 @@ def synthesize(
         alloc_phase = "allocation." + allocator.kernel
         seen_signatures: Set[Tuple[Tuple[Tuple[int, int], ...], int]] = set()
         for k_mid in range(0, mid_cap + 1):
-            with maybe_phase("allocation"), maybe_phase(alloc_phase):
+            with maybe_phase("allocation"), maybe_phase(alloc_phase), span(
+                "allocate", kernel=allocator.kernel, k_mid=k_mid
+            ) as alloc_span:
                 result = allocator.allocate(num_intermediate=k_mid)
+                if alloc_span is not None:
+                    alloc_span.set(success=result.success)
             if not result.success:
                 space.failures.append((counts_key, k_mid, result.reason or "unknown"))
                 continue
@@ -223,7 +244,7 @@ def synthesize(
             if signature in seen_signatures:
                 continue
             seen_signatures.add(signature)
-            with maybe_phase("evaluation"):
+            with maybe_phase("evaluation"), span("evaluate", k_mid=k_mid):
                 point = _evaluate_point(
                     result, plans, counts, k_mid, point_index, library, cfg,
                     place_cache,

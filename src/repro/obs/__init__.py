@@ -1,0 +1,79 @@
+"""Structured observability: spans, metrics, exporters, dashboard.
+
+The unified instrumentation layer over synthesis, the trace-replay
+runtime, and the reconfiguration control plane.  It subsumes the
+:mod:`repro.perf` counters (which stay as the zero-dependency hot-path
+accumulator; :meth:`MetricsRegistry.absorb_perf` lifts them into the
+registry) and adds what they cannot express: *where* time went
+(hierarchical spans, cross-process), *how values distribute*
+(histograms), and *how a run looked* (dashboard, Perfetto traces).
+
+Determinism contract: span identity and ordering never touch the wall
+clock, every exporter orders its output canonically, and timing fields
+can be dropped at export (``timing=False``) — so byte-identical runs
+export byte-identical event sequences, which the bench harness gates.
+"""
+
+from .dashboard import (
+    counter_lines,
+    island_gantt_lines,
+    phase_breakdown_lines,
+    recovery_timeline_lines,
+    render_dashboard,
+    render_html,
+)
+from .export import (
+    chrome_trace_events,
+    chrome_trace_json,
+    prometheus_text,
+    span_log_lines,
+    telemetry_log_lines,
+    write_lines,
+)
+from .metrics import (
+    DEFAULT_MS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    record_control_metrics,
+    record_runtime_metrics,
+)
+from .spans import (
+    SpanRecord,
+    SpanRecorder,
+    active_tracer,
+    set_tracer,
+    span,
+    stable_span_id,
+    tracing,
+)
+
+__all__ = [
+    "DEFAULT_MS_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "SpanRecorder",
+    "active_tracer",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "counter_lines",
+    "island_gantt_lines",
+    "phase_breakdown_lines",
+    "prometheus_text",
+    "record_control_metrics",
+    "record_runtime_metrics",
+    "recovery_timeline_lines",
+    "render_dashboard",
+    "render_html",
+    "set_tracer",
+    "span",
+    "span_log_lines",
+    "stable_span_id",
+    "telemetry_log_lines",
+    "tracing",
+    "write_lines",
+]

@@ -1,0 +1,377 @@
+"""Typed metrics registry: counters, gauges, fixed-bucket histograms.
+
+The second leg of the observability layer: where spans answer *where
+did the time go inside this run*, metrics answer *how much / how often
+/ how distributed* across runs, islands and flows.  Three metric
+kinds, deliberately Prometheus-shaped so the text exporter is a
+straight serialization:
+
+* **counter** — monotone accumulation (``inc``); merging sums;
+* **gauge** — last-written value (``set``); merging overwrites;
+* **histogram** — observations bucketed into *fixed* edges chosen at
+  registration (``observe``); merging sums buckets, and two
+  registries can only merge a histogram when their edges agree.
+
+Every metric takes optional labels (``registry.counter("x").inc(1,
+island=3, state="on")``); samples are keyed by the sorted label set so
+snapshot order — and therefore every exported byte — is deterministic.
+
+The legacy :class:`repro.perf.PerfRecorder` is absorbed behind a
+compatibility shim (:meth:`MetricsRegistry.absorb_perf`): its counters
+become ``perf.counters.<name>`` counters and its phase timers become
+``perf.phase_seconds`` counters labelled by phase, so existing
+consumers of ``BENCH_synthesis.json`` keep their numbers while new
+consumers read one registry.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..exceptions import SpecError
+
+#: Label sets are stored as sorted ``(key, value)`` tuples — hashable,
+#: order-free, deterministic to serialize.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default bucket edges for millisecond-scale latency histograms
+#: (detection, failover, wake stalls).  A trailing +Inf bucket is
+#: implicit in every histogram.
+DEFAULT_MS_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+)
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotone accumulator (float-valued so phase seconds fit too)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.samples: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: Union[int, float] = 1, **labels: object) -> None:
+        if amount < 0:
+            raise SpecError(
+                "counter %r cannot decrease (inc %r)" % (self.name, amount)
+            )
+        key = _label_key(labels)
+        self.samples[key] = self.samples.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self.samples.get(_label_key(labels), 0.0)
+
+
+class Gauge:
+    """Last-written value per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.samples: Dict[LabelKey, float] = {}
+
+    def set(self, value: Union[int, float], **labels: object) -> None:
+        self.samples[_label_key(labels)] = float(value)
+
+    def value(self, **labels: object) -> Optional[float]:
+        return self.samples.get(_label_key(labels))
+
+
+class Histogram:
+    """Fixed-bucket histogram (Prometheus cumulative-on-export shape).
+
+    ``buckets`` are the finite upper edges, strictly increasing; the
+    +Inf bucket is implicit.  Internally counts are stored
+    *per-bucket* (not cumulative) so merging is a plain elementwise
+    sum; the exporters cumulate.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_MS_BUCKETS,
+        help: str = "",
+    ) -> None:
+        edges = tuple(float(b) for b in buckets)
+        if not edges or any(b <= a for a, b in zip(edges, edges[1:])):
+            raise SpecError(
+                "histogram %r needs strictly increasing bucket edges, got %r"
+                % (name, buckets)
+            )
+        self.name = name
+        self.help = help
+        self.buckets = edges
+        #: label key -> (per-bucket counts incl. +Inf, sum, count)
+        self.samples: Dict[LabelKey, Tuple[List[int], float, int]] = {}
+
+    def observe(self, value: Union[int, float], **labels: object) -> None:
+        key = _label_key(labels)
+        entry = self.samples.get(key)
+        if entry is None:
+            entry = ([0] * (len(self.buckets) + 1), 0.0, 0)
+        counts, total, n = entry
+        counts[bisect_left(self.buckets, float(value))] += 1
+        self.samples[key] = (counts, total + float(value), n + 1)
+
+    def count(self, **labels: object) -> int:
+        entry = self.samples.get(_label_key(labels))
+        return entry[2] if entry is not None else 0
+
+    def sum(self, **labels: object) -> float:
+        entry = self.samples.get(_label_key(labels))
+        return entry[1] if entry is not None else 0.0
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named, typed metrics with get-or-create registration.
+
+    Re-registering a name with the same kind returns the existing
+    metric; a kind clash (or histogram edge clash) raises
+    :class:`~repro.exceptions.SpecError` — silent shadowing would make
+    two call sites disagree about what a series means.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, name: str, kind: str) -> Optional[Metric]:
+        existing = self._metrics.get(name)
+        if existing is not None and existing.kind != kind:
+            raise SpecError(
+                "metric %r already registered as %s, not %s"
+                % (name, existing.kind, kind)
+            )
+        return existing
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        metric = self._get(name, "counter")
+        if metric is None:
+            metric = Counter(name, help)
+            self._metrics[name] = metric
+        return metric  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        metric = self._get(name, "gauge")
+        if metric is None:
+            metric = Gauge(name, help)
+            self._metrics[name] = metric
+        return metric  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_MS_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        metric = self._get(name, "histogram")
+        if metric is None:
+            metric = Histogram(name, buckets, help)
+            self._metrics[name] = metric
+        elif tuple(float(b) for b in buckets) != metric.buckets:  # type: ignore[union-attr]
+            raise SpecError(
+                "histogram %r already registered with edges %r"
+                % (name, metric.buckets)  # type: ignore[union-attr]
+            )
+        return metric  # type: ignore[return-value]
+
+    def __iter__(self):
+        """Metrics in deterministic (name) order."""
+        for name in sorted(self._metrics):
+            yield self._metrics[name]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    # -- snapshot / merge ----------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready dump, deterministically ordered."""
+        out: Dict[str, object] = {}
+        for metric in self:
+            entry: Dict[str, object] = {"kind": metric.kind, "help": metric.help}
+            if metric.kind == "histogram":
+                entry["buckets"] = list(metric.buckets)  # type: ignore[union-attr]
+                entry["samples"] = [
+                    {
+                        "labels": dict(key),
+                        "bucket_counts": list(counts),
+                        "sum": total,
+                        "count": n,
+                    }
+                    for key, (counts, total, n) in sorted(metric.samples.items())
+                ]
+            else:
+                entry["samples"] = [
+                    {"labels": dict(key), "value": value}
+                    for key, value in sorted(metric.samples.items())
+                ]
+            out[metric.name] = entry
+        return out
+
+    def merge(self, snapshot: Mapping[str, object]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and histogram buckets sum; gauges take the incoming
+        value (last write wins — the snapshot is the fresher reading).
+        """
+        for name in sorted(snapshot):
+            entry = snapshot[name]
+            kind = entry["kind"]  # type: ignore[index]
+            if kind == "counter":
+                metric = self.counter(name, str(entry.get("help", "")))  # type: ignore[union-attr]
+                for s in entry["samples"]:  # type: ignore[index]
+                    metric.inc(float(s["value"]), **s.get("labels", {}))
+            elif kind == "gauge":
+                metric = self.gauge(name, str(entry.get("help", "")))  # type: ignore[union-attr]
+                for s in entry["samples"]:  # type: ignore[index]
+                    metric.set(float(s["value"]), **s.get("labels", {}))
+            elif kind == "histogram":
+                metric = self.histogram(
+                    name,
+                    entry["buckets"],  # type: ignore[index]
+                    str(entry.get("help", "")),  # type: ignore[union-attr]
+                )
+                for s in entry["samples"]:  # type: ignore[index]
+                    key = _label_key(s.get("labels", {}))
+                    incoming = (
+                        list(s["bucket_counts"]),
+                        float(s["sum"]),
+                        int(s["count"]),
+                    )
+                    existing = metric.samples.get(key)
+                    if existing is None:
+                        metric.samples[key] = incoming
+                    else:
+                        counts, total, n = existing
+                        metric.samples[key] = (
+                            [a + b for a, b in zip(counts, incoming[0])],
+                            total + incoming[1],
+                            n + incoming[2],
+                        )
+            else:
+                raise SpecError("unknown metric kind %r for %r" % (kind, name))
+
+    # -- compatibility shim over repro.perf ----------------------------
+
+    def absorb_perf(self, perf: object) -> None:
+        """Absorb a :class:`repro.perf.PerfRecorder` (or its snapshot).
+
+        Counters land as ``perf.counters.<name>``; phase timers as the
+        ``perf.phase_seconds`` counter labelled by phase.  Idempotent
+        per distinct recorder state, additive across calls — exactly
+        the semantics of merging one more worker's counters.
+        """
+        snap = perf.snapshot() if hasattr(perf, "snapshot") else perf
+        for name, value in sorted(snap.get("counters", {}).items()):  # type: ignore[union-attr]
+            self.counter(
+                "perf.counters.%s" % name, "synthesis hot-path counter"
+            ).inc(value)
+        phases = self.counter(
+            "perf.phase_seconds", "cumulative synthesis phase wall-clock"
+        )
+        for name, seconds in sorted(snap.get("phase_seconds", {}).items()):  # type: ignore[union-attr]
+            phases.inc(seconds, phase=name)
+
+
+# ----------------------------------------------------------------------
+# Standard metric builders over the runtime / control reports
+# ----------------------------------------------------------------------
+
+
+def record_runtime_metrics(registry: MetricsRegistry, report) -> None:
+    """Project a :class:`~repro.runtime.report.RuntimeReport` into metrics.
+
+    Emits the per-island ON/OFF/WAKING residency gauges, gating event
+    counters, per-flow wake-stall histogram and the energy-by-source
+    gauges the dashboard's top-line tiles read.
+    """
+    residency = registry.gauge(
+        "runtime.island.residency_ms", "time per power state over the trace"
+    )
+    events = registry.counter(
+        "runtime.island.events", "gate/wake transitions per island"
+    )
+    for isl in sorted(report.per_island):
+        r = report.per_island[isl]
+        residency.set(r.on_ms, island=isl, state="on")
+        residency.set(r.off_ms, island=isl, state="off")
+        residency.set(r.waking_ms, island=isl, state="waking")
+        events.inc(r.gate_events, island=isl, kind="gate")
+        events.inc(r.wake_events, island=isl, kind="wake")
+    stalls = registry.histogram(
+        "runtime.wake_stall_ms", help="worst wake stall per active flow"
+    )
+    for key in sorted(report.flow_stall_ms):
+        stalls.observe(report.flow_stall_ms[key])
+    energy = registry.gauge(
+        "runtime.energy_mj", "trace energy decomposed by source"
+    )
+    energy.set(report.core_dynamic_mj, source="core_dynamic")
+    energy.set(report.noc_traffic_mj, source="noc_traffic")
+    energy.set(report.islands_on_mj, source="islands_on")
+    energy.set(report.islands_off_mj, source="islands_off")
+    energy.set(report.always_on_mj, source="always_on")
+    energy.set(report.wake_energy_mj, source="wake_events")
+    energy.set(report.fault_delta_mj, source="fault_delta")
+    energy.set(report.total_mj, source="total")
+    registry.gauge("runtime.stalled_ms", "island-ms waiting on wakes").set(
+        report.stalled_ms
+    )
+    registry.counter("runtime.violations", "routability violations").inc(
+        len(report.violations)
+    )
+
+
+def record_control_metrics(registry: MetricsRegistry, report) -> None:
+    """Project the controller's recovery timelines into metrics.
+
+    Detection / failover (recovery) latency histograms, per-action flow
+    counters, lost-traffic and degraded-window gauges — empty when the
+    report carries no recoveries.
+    """
+    detect = registry.histogram(
+        "control.detection_ms", help="fault-to-observation latency"
+    )
+    recover = registry.histogram(
+        "control.recovery_ms", help="fault-to-installed-routing latency"
+    )
+    flows = registry.counter("control.flow_actions", "flow fates per recovery")
+    lost = registry.gauge("control.lost_traffic_mbits", "undelivered traffic")
+    degraded = registry.gauge(
+        "control.degraded_window_ms", "time on alternate routing"
+    )
+    audits = registry.counter("control.deadlock_audits", "install-time audits")
+    total_lost = 0.0
+    total_degraded = 0.0
+    for rec in report.recoveries:
+        detect.observe(rec.detection_ms, scenario=rec.scenario)
+        recover.observe(rec.failover_ms, scenario=rec.scenario)
+        for f in rec.flows:
+            flows.inc(1, action=f.action)
+        audits.inc(
+            1,
+            verdict="pass"
+            if rec.deadlock_free and rec.restore_deadlock_free
+            else "fail",
+        )
+        total_lost += rec.lost_traffic_mbits
+        total_degraded += rec.degraded_window_ms
+    lost.set(total_lost)
+    degraded.set(total_degraded)

@@ -71,6 +71,21 @@ class PerfRecorder:
             "phase_seconds": {k: round(v, 6) for k, v in self.phase_seconds.items()},
         }
 
+    def merge_snapshot(self, snapshot: Dict[str, object]) -> None:
+        """Fold another recorder's :meth:`snapshot` into this one.
+
+        Counters and phase seconds both sum — the semantics of merging
+        one more worker process's share of the run.  This is how
+        parallel :class:`~repro.core.explore.ExplorationEngine` sweeps
+        ship child-process counters back to the parent recorder.
+        """
+        for name, value in snapshot.get("counters", {}).items():  # type: ignore[union-attr]
+            self.count(name, int(value))
+        for name, seconds in snapshot.get("phase_seconds", {}).items():  # type: ignore[union-attr]
+            self.phase_seconds[name] = (
+                self.phase_seconds.get(name, 0.0) + float(seconds)
+            )
+
     def reset(self) -> None:
         """Clear all counters and timers."""
         self.counters.clear()

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence, Tuple
 
 from ..arch.topology import FlowKey
+from .states import StateInterval
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..control.telemetry import FaultRecovery, TelemetryEvent
@@ -106,6 +107,10 @@ class IslandRuntime:
     saved_mw: float
     #: Longest single wake stall the island imposed on a needed segment.
     max_stall_ms: float = 0.0
+    #: Full ON/OFF/WAKING state timeline over the trace — the island's
+    #: Gantt row in the observability dashboard.  Empty on reports
+    #: built before the timeline was recorded.
+    timeline: Tuple[StateInterval, ...] = ()
 
     @property
     def off_fraction(self) -> float:

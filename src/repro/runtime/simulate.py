@@ -46,6 +46,7 @@ from typing import (
 
 from ..arch.topology import INTERMEDIATE_ISLAND, FlowKey, Topology
 from ..exceptions import SpecError
+from ..obs.spans import span
 from ..power.gating import GatingModel, island_gating_cost
 from ..power.leakage import statically_pinned_islands
 from ..power.noc_power import compute_noc_power, route_traffic_power_mw
@@ -321,6 +322,42 @@ def simulate_trace(
     controller carries its own spare plan, ``spare_plan`` may be
     omitted.
     """
+    with span(
+        "runtime.simulate",
+        trace=trace.name,
+        policy=policy.name,
+        controlled=controller is not None,
+    ) as s:
+        report = _simulate_trace(
+            topology,
+            trace,
+            policy,
+            model=model,
+            check_routability=check_routability,
+            pinned_islands=pinned_islands,
+            fault_events=fault_events,
+            spare_plan=spare_plan,
+            controller=controller,
+            _context=_context,
+        )
+        if s is not None:
+            s.set(violations=len(report.violations), recoveries=len(report.recoveries))
+        return report
+
+
+def _simulate_trace(
+    topology: Topology,
+    trace: UseCaseTrace,
+    policy: GatingPolicy,
+    model: Optional[GatingModel] = None,
+    check_routability: bool = True,
+    pinned_islands: Optional[Iterable[int]] = None,
+    fault_events: Optional[Sequence["FaultEvent"]] = None,
+    spare_plan: Optional["SparePlan"] = None,
+    controller: Optional["ReconfigurationController"] = None,
+    _context: Optional[_TraceContext] = None,
+) -> RuntimeReport:
+    """:func:`simulate_trace` body (root span opened by the wrapper)."""
     pinned = frozenset(pinned_islands or ())
     ctx = _context or _build_context(topology, trace, model)
     economics = ctx.economics
@@ -393,6 +430,7 @@ def simulate_trace(
             break_even_ms=econ.break_even_ms,
             saved_mw=econ.saved_mw,
             max_stall_ms=island_stall_ms.get(island, 0.0),
+            timeline=tuple(machine.timeline),
         )
     always_on_uj = ctx.always_on_mw * total_ms
 
