@@ -14,6 +14,10 @@ under a :class:`repro.perf.PerfRecorder`, plus three ablations:
   ``enable_caches`` on and off, asserting the chosen design points are
   identical (the fast path must not change results) and recording the
   speedup;
+* **warm cache** — the scaling sweep run cold and warm against a
+  throwaway content-addressed store (``repro.cache``): the warm pass
+  must reproduce byte-identical design points (exit code) and its
+  speedup over the cold pass is recorded per size;
 * **worker scaling** — the same exploration sweep per worker count on
   a persistent :class:`repro.core.explore.ExplorationEngine` pool
   (cold and warm passes); parallel rows are explicitly skipped on
@@ -169,6 +173,81 @@ def run_cache_ablation(n_cores: int) -> Dict[str, object]:
         "speedup": round(uncached_s / max(cached_s, 1e-9), 3),
         "identical_points": identical,
     }
+
+
+def run_warm_cache(sizes: List[int]) -> Dict[str, object]:
+    """Cold vs warm sweep against the content-addressed store.
+
+    Runs the scaling sweep twice over one throwaway ``--cache-dir``:
+    a cold pass that populates the store and a warm pass through a
+    *fresh* :class:`CacheStore` (memory tier empty, every hit comes
+    off disk).  The warm pass must reproduce byte-identical design
+    points — ``identical_points`` participates in the harness exit
+    code — and its speedup over the cold pass is the headline number
+    of docs/caching.md.
+    """
+    import shutil
+    import tempfile
+
+    from repro.cache import CacheStore, caching  # noqa: E402
+
+    tmpdir = tempfile.mkdtemp(prefix="repro-noc-bench-cache-")
+    try:
+        rows = []
+        identical = True
+        for n_cores in sizes:
+            part = _scaling_spec(n_cores)
+            cold_store = CacheStore.open(tmpdir)
+            t0 = time.perf_counter()
+            with caching(cold_store):
+                cold_space = synthesize(part, config=FAST)
+            cold_s = time.perf_counter() - t0
+            warm_store = CacheStore.open(tmpdir)
+            t0 = time.perf_counter()
+            with caching(warm_store):
+                warm_space = synthesize(part, config=FAST)
+            warm_s = time.perf_counter() - t0
+            same = point_signature(cold_space) == point_signature(warm_space)
+            identical = identical and same
+            if not same:
+                print(
+                    "  WARNING: warm rerun of %d cores differs from cold!" % n_cores,
+                    file=sys.stderr,
+                )
+            rows.append(
+                {
+                    "cores": n_cores,
+                    "cold_seconds": round(cold_s, 4),
+                    "warm_seconds": round(warm_s, 4),
+                    "speedup": round(cold_s / max(warm_s, 1e-9), 3),
+                    "hits": warm_store.stats.hits,
+                    "misses": warm_store.stats.misses,
+                    "bytes_written": cold_store.stats.bytes_written,
+                    "identical_points": same,
+                }
+            )
+            print(
+                "  %3d cores: cold %.2fs, warm %.2fs (%.2fx, %d hits), identical=%s"
+                % (
+                    n_cores,
+                    cold_s,
+                    warm_s,
+                    cold_s / max(warm_s, 1e-9),
+                    warm_store.stats.hits,
+                    same,
+                )
+            )
+        cold_total = sum(r["cold_seconds"] for r in rows)
+        warm_total = sum(r["warm_seconds"] for r in rows)
+        return {
+            "rows": rows,
+            "cold_total_seconds": round(cold_total, 4),
+            "warm_total_seconds": round(warm_total, 4),
+            "warm_speedup": round(cold_total / max(warm_total, 1e-9), 3),
+            "identical_points": identical,
+        }
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
 
 
 def run_kernel_comparison(sizes: List[int]) -> Dict[str, object]:
@@ -1066,6 +1145,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     kernel = run_kernel_comparison(sizes)
     print("cache ablation:")
     ablation = run_cache_ablation(max(sizes))
+    print("warm cache (content-addressed store, cold vs warm sweep):")
+    warm_cache = run_warm_cache(sizes)
     print("worker scaling:")
     worker_rows = run_worker_scaling(min(sizes), args.workers)
     print("runtime shutdown (d26, markov trace):")
@@ -1093,6 +1174,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "phase_seconds": {k: round(v, 4) for k, v in recorder.phase_seconds.items()},
         "kernel": kernel,
         "cache_ablation": ablation,
+        "cache": warm_cache,
         "worker_scaling": worker_rows,
         "runtime_shutdown": runtime_shutdown,
         "resilience": resilience,
@@ -1128,6 +1210,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("not archiving: regression gate failed")
     return 0 if (
         ablation["identical_points"]
+        and warm_cache["identical_points"]
         and kernel["identical_points"]
         and gate_ok
         and resilience["deterministic"]

@@ -41,6 +41,12 @@ Subcommands
     phase breakdown, controller recovery timeline, island-state Gantt
     rows and top-N counters, with Chrome-trace / JSON-lines /
     Prometheus exports (see docs/observability.md).
+``cache``
+    Inspect the content-addressed synthesis cache: ``stats`` (entry
+    counts and bytes by kind), ``clear``, ``verify`` (re-hash every
+    blob, report corrupt/stale entries; ``--remove`` deletes them).
+    ``synth``, ``sweep`` and ``obs`` take ``--cache-dir`` to run
+    against a store (see docs/caching.md).
 
 Examples::
 
@@ -52,13 +58,18 @@ Examples::
     repro-noc resilience d26_media --islands 6 --spare-k 1 --per-scenario
     repro-noc control d26_media --islands 6 --spare-k 1 --telemetry
     repro-noc obs d26_media --islands 6 --chrome-trace trace.json
+    repro-noc synth d26_media --cache-dir .noc-cache   # warm re-runs are instant
+    repro-noc cache stats --cache-dir .noc-cache
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
+
+from .cache import CacheStore, caching, default_cache_dir
 
 from .baseline.checker import compare_shutdown_capability
 from .baseline.flat import synthesize_vi_oblivious
@@ -220,6 +231,21 @@ def _add_fault_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--cache-dir",
+        help="content-addressed result store directory; enables warm-run "
+        "memoization (see docs/caching.md)",
+    )
+    p.add_argument(
+        "--verify-on-hit",
+        type=int,
+        default=0,
+        metavar="N",
+        help="recompute and cross-check every Nth cache hit (0 = never)",
+    )
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     rows = []
     for name in sorted(BENCHMARKS):
@@ -238,6 +264,29 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_scope(args: argparse.Namespace):
+    """``caching(...)`` context for ``--cache-dir`` (no-op without it).
+
+    Returns ``(context_manager, store_or_None)``; commands print a
+    one-line hit/miss summary from the store after their run.
+    """
+    cache_dir = getattr(args, "cache_dir", None)
+    if not cache_dir:
+        return contextlib.nullcontext(), None
+    store = CacheStore.open(cache_dir, verify_every=getattr(args, "verify_on_hit", 0))
+    return caching(store), store
+
+
+def _print_cache_stats(store: Optional[CacheStore]) -> None:
+    if store is None:
+        return
+    s = store.stats
+    print(
+        "cache: %d hits, %d misses, %d bytes written (%s)"
+        % (s.hits, s.misses, s.bytes_written, store.directory)
+    )
+
+
 def _cmd_synth(args: argparse.Namespace) -> int:
     spec = _partitioned(args.benchmark, args.islands, args.strategy)
     objective = _objective_for(args, spec)
@@ -248,7 +297,10 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         objective=objective,
         kernel=args.kernel,
     )
-    space = synthesize(spec, config=config)
+    scope, store = _cache_scope(args)
+    with scope:
+        space = synthesize(spec, config=config)
+    _print_cache_stats(store)
     print(
         format_table(
             space.summary_rows(),
@@ -284,7 +336,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         config=SynthesisConfig(seed=args.seed, kernel=args.kernel),
         objective=objective,
     )
-    with engine:
+    scope, store = _cache_scope(args)
+    with scope, engine:
         tasks = [
             engine.task(
                 _partitioned(args.benchmark, n, strategy),
@@ -294,6 +347,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             for n in counts
         ]
         rows = [r.row() for r in engine.run(tasks)]
+    _print_cache_stats(store)
     print(
         format_table(
             rows,
@@ -611,6 +665,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         SpanRecorder,
         chrome_trace_json,
         prometheus_text,
+        record_cache_metrics,
         record_control_metrics,
         record_runtime_metrics,
         render_dashboard,
@@ -622,12 +677,15 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     )
     from .perf import PerfRecorder, recording
 
-    with recording(PerfRecorder()) as rec, tracing(SpanRecorder()) as tracer:
+    scope, store = _cache_scope(args)
+    with scope, recording(PerfRecorder()) as rec, tracing(SpanRecorder()) as tracer:
         trace, scenario, event, report = _controlled_replay(args)
     registry = MetricsRegistry()
     registry.absorb_perf(rec)
     record_runtime_metrics(registry, report)
     record_control_metrics(registry, report)
+    if store is not None:
+        record_cache_metrics(registry, store)
     title = "%s, %d islands: %s under fault %s (%.1f-%.1f ms of %.0f ms)" % (
         args.benchmark,
         args.islands,
@@ -666,6 +724,59 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             fh.write(prometheus_text(registry))
         print("wrote %s" % args.prom)
     return 0 if report.routable and report.recoveries_deadlock_free else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    directory = args.cache_dir or str(default_cache_dir())
+    store = CacheStore.open(directory)
+    disk = store.disk
+    assert disk is not None
+    if args.action == "stats":
+        kinds: dict = {}
+        total_bytes = 0
+        entries = 0
+        unreadable = 0
+        for key, header in disk.scan_headers():
+            entries += 1
+            if header is None:
+                unreadable += 1
+                continue
+            kind = str(header.get("kind", "?"))
+            size = int(header.get("size", 0))
+            count, nbytes = kinds.get(kind, (0, 0))
+            kinds[kind] = (count + 1, nbytes + size)
+            total_bytes += size
+        print("cache %s" % directory)
+        print("  entries: %d  payload bytes: %d" % (entries, total_bytes))
+        for kind in sorted(kinds):
+            count, nbytes = kinds[kind]
+            print("  %-12s %6d entries  %10d bytes" % (kind, count, nbytes))
+        if unreadable:
+            print("  unreadable headers: %d (run `cache verify`)" % unreadable)
+        return 0
+    if args.action == "clear":
+        removed = disk.clear()
+        print("cleared %s: removed %d entries" % (directory, removed))
+        return 0
+    if args.action == "verify":
+        report = disk.verify(remove=args.remove)
+        print(
+            "verified %s: %d checked, %d ok, %d corrupt, %d stale, %d removed"
+            % (
+                directory,
+                report["checked"],
+                report["ok"],
+                len(report["corrupt"]),
+                len(report["stale"]),
+                report["removed"],
+            )
+        )
+        for key in report["corrupt"]:
+            print("  corrupt: %s" % key)
+        for key in report["stale"]:
+            print("  stale:   %s" % key)
+        return 0 if not report["corrupt"] else 1
+    raise AssertionError("unreachable action %r" % args.action)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -709,6 +820,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--ascii-floorplan", action="store_true", help="print ASCII floorplan"
     )
     _add_objective_args(p_synth)
+    _add_cache_args(p_synth)
     p_synth.set_defaults(func=_cmd_synth)
 
     p_sweep = sub.add_parser("sweep", help="island-count sweep (Fig. 2/3 data)")
@@ -726,6 +838,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="routing kernel (auto resolves via $%s, default vector)" % KERNEL_ENV_VAR,
     )
     _add_objective_args(p_sweep)
+    _add_cache_args(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_shut = sub.add_parser("shutdown", help="shutdown capability vs baseline")
@@ -906,7 +1019,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs.add_argument(
         "--top", type=int, default=10, help="counters shown in the top-N panel"
     )
+    _add_cache_args(p_obs)
     p_obs.set_defaults(func=_cmd_obs)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or maintain the content-addressed result store"
+    )
+    p_cache.add_argument(
+        "action",
+        choices=("stats", "clear", "verify"),
+        help="stats: entry/byte counts per kind; clear: delete all entries; "
+        "verify: re-hash stored blobs and report corrupt/stale ones",
+    )
+    p_cache.add_argument(
+        "--cache-dir",
+        help="store directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-noc)",
+    )
+    p_cache.add_argument(
+        "--remove",
+        action="store_true",
+        help="with verify: delete corrupt and stale entries",
+    )
+    p_cache.set_defaults(func=_cmd_cache)
 
     return parser
 

@@ -212,24 +212,39 @@ def _pool_init(
     library: NocLibrary,
     config: SynthesisConfig,
     select: Callable[[DesignSpace], DesignPoint],
+    cache_store=None,
 ) -> None:
     """Worker initializer: install the shared read-only sweep context.
 
     Runs once per worker process at pool start-up; under the ``fork``
     start method the argument pickle is the only per-worker cost and the
     large objects behind it stay copy-on-write shared with the parent.
+
+    ``cache_store`` carries the parent's active
+    :class:`~repro.cache.store.CacheStore` into the worker.  Under
+    ``fork`` the worker inherits the parent's store module-global —
+    including its warm in-memory tier, copy-on-write shared — so the
+    shipped store only installs itself where nothing is active yet
+    (spawn platforms, whose pickled copy drops memory-tier contents
+    and re-reads from disk).
     """
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = (list(specs), library, config, select)
+    if cache_store is not None:
+        from ..cache.context import active_store, set_store
+
+        if active_store() is None:
+            set_store(cache_store)
 
 
 def _execute_descriptor(desc: _TaskDescriptor):
     """Rehydrate a descriptor against the worker context and run it.
 
     Returns ``(record, obs_payload)``: the payload is ``None`` unless
-    the descriptor asked for observability capture, in which case it
-    carries the worker-side :class:`PerfRecorder` and
-    :class:`SpanRecorder` snapshots for the parent to merge.
+    the descriptor asked for observability capture or a cache store is
+    active.  It carries the worker-side :class:`PerfRecorder` /
+    :class:`SpanRecorder` snapshots and the cache hit/miss counter
+    delta this task produced, for the parent to merge.
     """
     assert _WORKER_CONTEXT is not None, "worker pool not initialized"
     specs, base_library, base_config, base_select = _WORKER_CONTEXT
@@ -245,11 +260,21 @@ def _execute_descriptor(desc: _TaskDescriptor):
     elif desc.library_diff:
         library = dataclasses.replace(base_library, **dict(desc.library_diff))
     select = desc.select if desc.select is not None else base_select
+    from ..cache.context import active_store
+
+    store = active_store()
+    stats_before = store.stats.snapshot() if store is not None else None
     if not desc.collect_obs:
-        return _run_one(spec, library, config, desc.knobs, select), None
+        record = _run_one(spec, library, config, desc.knobs, select)
+        if store is None:
+            return record, None
+        return record, {"cache": store.stats.diff(stats_before)}
     with recording(PerfRecorder()) as rec, tracing(SpanRecorder()) as tracer:
         record = _run_one(spec, library, config, desc.knobs, select)
-    return record, {"perf": rec.snapshot(), "spans": tracer.snapshot()}
+    payload = {"perf": rec.snapshot(), "spans": tracer.snapshot()}
+    if store is not None:
+        payload["cache"] = store.stats.diff(stats_before)
+    return record, payload
 
 
 def _dataclass_diff(base: object, value: object):
@@ -402,22 +427,26 @@ class ExplorationEngine:
         case for benchmarks and iterative exploration — reuses the
         warm pool and ships only descriptors.
         """
+        from ..cache.context import active_store
+
+        store = active_store()
         key = (
             self.workers,
             id(self.library),
             id(self.config),
             id(self.select),
+            id(store),
             tuple(id(s) for s in specs),
         )
         if self._pool is not None and self._pool_key == key:
             return self._pool
         self.close()
-        self._pool_refs = (self.library, self.config, self.select, tuple(specs))
+        self._pool_refs = (self.library, self.config, self.select, tuple(specs), store)
         self._pool_key = key
         self._pool = ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_pool_init,
-            initargs=(tuple(specs), self.library, self.config, self.select),
+            initargs=(tuple(specs), self.library, self.config, self.select, store),
         )
         return self._pool
 
@@ -438,8 +467,11 @@ class ExplorationEngine:
         tasks = list(tasks)
         if self.workers == 1 or len(tasks) <= 1:
             return [_execute_task(t) for t in tasks]
+        from ..cache.context import active_store
+
         parent_rec = active_recorder()
         parent_tracer = active_tracer()
+        parent_store = active_store()
         collect = parent_rec is not None or parent_tracer is not None
         specs: List[SoCSpec] = []
         spec_index: Dict[int, int] = {}
@@ -477,10 +509,15 @@ class ExplorationEngine:
             records.append(record)
             if payload is None:
                 continue
-            if parent_rec is not None:
+            if parent_rec is not None and "perf" in payload:
                 parent_rec.merge_snapshot(payload["perf"])
-            if parent_tracer is not None:
+            if parent_tracer is not None and "spans" in payload:
                 parent_tracer.merge(payload["spans"], process="task%d" % i)
+            if parent_store is not None and "cache" in payload:
+                # Worker hit/miss deltas fold into the parent store's
+                # stats, so sweep-level cache accounting covers the
+                # whole pool, not just the parent process.
+                parent_store.stats.merge(payload["cache"])
         return records
 
     def task(

@@ -341,6 +341,49 @@ class SoCSpec:
         """Bandwidth between all communicating pairs, as a dict."""
         return {f.key: f.bandwidth_mbps for f in self.flows}
 
+    # ------------------------------------------------------------------
+    # Content addressing
+    # ------------------------------------------------------------------
+
+    def canonical(self) -> Dict[str, object]:
+        """Normalized plain-data form used for content-addressed hashing.
+
+        Two specs describing the same problem hash identically even when
+        their ``vi_assignment`` mappings were built in different key
+        orders: the mapping is emitted as sorted ``(core, island)``
+        pairs.  Core and flow *sequence* order is preserved — synthesis
+        results legitimately depend on it (tiling order, float
+        accumulation order in the VCG), so reordering cores or flows is
+        a different problem, not the same one.
+
+        The spec ``name`` is intentionally excluded: the cache is
+        content-addressed, so two identically-shaped specs under
+        different names share results.
+        """
+        return {
+            "cores": [
+                [c.name, c.area_mm2, c.dynamic_power_mw, c.leakage_power_mw,
+                 c.kind, c.group, c.freq_mhz]
+                for c in self.cores
+            ],
+            "flows": [
+                [f.src, f.dst, f.bandwidth_mbps, f.latency_cycles]
+                for f in self.flows
+            ],
+            "vi_assignment": sorted(self.vi_assignment.items()),
+        }
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the spec (hex digest).
+
+        Delegates to :func:`repro.cache.keys.fingerprint` so floats get
+        the exact (``float.hex``) representation and the versioned
+        schema tag; see ``docs/caching.md`` for the key schema.
+        """
+        from ..cache.keys import fingerprint
+
+        return fingerprint("spec", self.canonical())
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return "SoCSpec(%s: %d cores, %d flows, %d islands)" % (
             self.name,

@@ -30,7 +30,22 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..arch.topology import INTERMEDIATE_ISLAND, Topology
 from ..arch.validate import validate_topology
-from ..exceptions import InfeasibleError, PartitionError, SynthesisError
+from ..cache.context import active_store
+from ..cache.keys import (
+    allocation_base_key,
+    allocation_context_key,
+    allocation_key,
+    design_space_key,
+    partition_key,
+    vcg_key,
+)
+from ..cache.signatures import (
+    allocation_signature,
+    design_space_signature,
+    partition_signature,
+)
+from ..cache.store import CacheStore
+from ..exceptions import CacheKeyError, InfeasibleError, PartitionError, SynthesisError
 from ..floorplan.annealer import AnnealConfig, anneal_placement
 from ..floorplan.placer import Floorplan, FloorplanConfig, place
 from ..floorplan.wires import assign_wire_lengths
@@ -146,10 +161,56 @@ def synthesize(
         islands=spec.num_islands,
         kernel=cfg.kernel,
     ) as s:
-        space = _synthesize_sweep(spec, library, cfg)
+        space = _cached_synthesize(spec, library, cfg, s)
+        space.require_feasible()
         if s is not None:
             s.set(design_points=len(space))
         return space
+
+
+def _cached_synthesize(
+    spec: SoCSpec,
+    library: NocLibrary,
+    cfg: SynthesisConfig,
+    root_span=None,
+) -> DesignSpace:
+    """Space-tier cache probe around the full sweep.
+
+    Active only when a :class:`~repro.cache.store.CacheStore` is
+    installed (``repro.cache.caching``) *and* the config's fast paths
+    are on — ``enable_caches=False`` is the reference mode and must
+    exercise the real computation.  Infeasible sweeps are cached too
+    (the stored space carries the failures; :func:`synthesize` re-raises
+    from it), so warm re-runs of infeasible corners stay cheap.
+    """
+    store = active_store()
+    if store is None or not cfg.enable_caches:
+        return _synthesize_sweep(spec, library, cfg)
+    try:
+        key = design_space_key(spec, library, cfg)
+    except CacheKeyError:
+        # Something in the config (say, a closure-capturing objective)
+        # has no stable content address; run cold, don't fail the run.
+        store.record_key_error()
+        return _synthesize_sweep(spec, library, cfg)
+    hit = store.get_object(key, "space")
+    if hit is not None:
+        space, header = hit
+        if root_span is not None:
+            root_span.set(cache="hit")
+        if store.should_verify():
+            fresh = _synthesize_sweep(spec, library, cfg)
+            store.check_signature(
+                header,
+                design_space_signature(fresh),
+                "design space for %s" % spec.name,
+            )
+        return space
+    if root_span is not None:
+        root_span.set(cache="miss")
+    space = _synthesize_sweep(spec, library, cfg)
+    store.put_object(key, space, "space", sig=design_space_signature(space))
+    return space
 
 
 def _synthesize_sweep(
@@ -159,6 +220,19 @@ def _synthesize_sweep(
     plans = plan_all_islands(spec, library, cfg.freq_step_mhz, cfg.min_freq_mhz)
     vcgs = build_all_vcgs(spec, cfg.alpha)
     space = DesignSpace(spec_name=spec.name, objective=cfg.objective)
+    # Sub-tier cache probes (partitions, allocations) share the active
+    # store; off in reference mode so enable_caches=False really is the
+    # unmemoized computation.  The spec/library digests are hoisted out
+    # of the candidate loop — they are the expensive canonicalizations
+    # and are sweep-invariant.
+    store: Optional[CacheStore] = active_store() if cfg.enable_caches else None
+    alloc_ctx: Optional[str] = None
+    vcg_digests: Dict[int, str] = {}
+    if store is not None:
+        try:
+            alloc_ctx = allocation_context_key(spec, library, cfg.path_cost)
+        except CacheKeyError:
+            store.record_key_error()
     # Pruning needs a full-cost incumbent to compare prefixes against;
     # with no objective configured the static-power default drives the
     # prune decision alone (accepted points stay objective-free).
@@ -205,7 +279,7 @@ def _synthesize_sweep(
         try:
             with maybe_phase("partitioning"), span("partition", sweep_i=i):
                 partitions = _partition_islands(
-                    spec, vcgs, plans, counts, cfg, part_cache
+                    spec, vcgs, plans, counts, cfg, part_cache, vcg_digests
                 )
         except PartitionError as exc:
             space.failures.append((counts_key, -1, "partitioning: %s" % exc))
@@ -222,19 +296,57 @@ def _synthesize_sweep(
             use_cache=cfg.enable_caches,
             kernel=cfg.kernel,
         )
+        # Allocation-tier cache: one base digest per candidate (the
+        # spec/library/plans/partitions canonicalization is shared by
+        # the whole intermediate-count sweep), per-k keys derived from
+        # it.  Routes interact through shared link capacities, so the
+        # whole allocation — every island pair's routing plan — is the
+        # sound cacheable unit.  Objective-independent by construction:
+        # objective re-runs hit this tier.
+        alloc_base: Optional[str] = None
+        if alloc_ctx is not None:
+            alloc_base = allocation_base_key(alloc_ctx, plans, partitions)
         # Per-kernel phase timer alongside the aggregate one, so a
         # bench snapshot can attribute allocation time to the kernel
         # that actually ran (allocator.kernel is the resolved choice).
         alloc_phase = "allocation." + allocator.kernel
         seen_signatures: Set[Tuple[Tuple[Tuple[int, int], ...], int]] = set()
         for k_mid in range(0, mid_cap + 1):
-            with maybe_phase("allocation"), maybe_phase(alloc_phase), span(
-                "allocate", kernel=allocator.kernel, k_mid=k_mid
-            ) as alloc_span:
-                result = allocator.allocate(num_intermediate=k_mid)
-                if alloc_span is not None:
-                    alloc_span.set(success=result.success)
+            result = None
+            if alloc_base is not None:
+                akey = allocation_key(alloc_base, k_mid)
+                cached_alloc = store.get_object(akey, "allocation")
+                if cached_alloc is not None:
+                    alloc_entry, alloc_header = cached_alloc
+                    result = alloc_entry["result"]
+                    if k_mid == 0:
+                        # allocate(k>0) is not history-free (the k=0
+                        # dominance shortcut); re-arm the state so any
+                        # later cold allocate matches the populating run.
+                        allocator.seed_k0(result, alloc_entry["k0_unblocked"])
+                    if store.should_verify():
+                        fresh_alloc = allocator.allocate(num_intermediate=k_mid)
+                        store.check_signature(
+                            alloc_header,
+                            allocation_signature(fresh_alloc),
+                            "allocation %s k_mid=%d" % (counts_key, k_mid),
+                        )
+            alloc_from_cache = result is not None
+            if result is None:
+                with maybe_phase("allocation"), maybe_phase(alloc_phase), span(
+                    "allocate", kernel=allocator.kernel, k_mid=k_mid
+                ) as alloc_span:
+                    result = allocator.allocate(num_intermediate=k_mid)
+                    if alloc_span is not None:
+                        alloc_span.set(success=result.success)
             if not result.success:
+                if alloc_base is not None and not alloc_from_cache:
+                    store.put_object(
+                        akey,
+                        {"result": result, "k0_unblocked": allocator.k0_dominance},
+                        "allocation",
+                        sig=allocation_signature(result),
+                    )
                 space.failures.append((counts_key, k_mid, result.reason or "unknown"))
                 continue
             # Requesting more intermediate switches than the allocator
@@ -242,8 +354,23 @@ def _synthesize_sweep(
             used_mid = len(result.require_topology().intermediate_switches)
             signature = (counts_key, used_mid)
             if signature in seen_signatures:
+                # Never cached: the dominance shortcut aliases this
+                # result to the k=0 object, whose topology evaluation
+                # has already mutated (wire lengths) — warm runs
+                # instead miss here and re-skip via the seeded k=0
+                # dominance state, which costs nothing.
                 continue
             seen_signatures.add(signature)
+            if alloc_base is not None and not alloc_from_cache:
+                # Snapshot *before* evaluation: _evaluate_point assigns
+                # wire lengths onto this topology in place, and the
+                # cached bytes must stay pre-evaluation.
+                store.put_object(
+                    akey,
+                    {"result": result, "k0_unblocked": allocator.k0_dominance},
+                    "allocation",
+                    sig=allocation_signature(result),
+                )
             with maybe_phase("evaluation"), span("evaluate", k_mid=k_mid):
                 point = _evaluate_point(
                     result, plans, counts, k_mid, point_index, library, cfg,
@@ -291,7 +418,6 @@ def _synthesize_sweep(
             point_index += 1
             if cfg.max_design_points is not None and len(space.points) >= cfg.max_design_points:
                 return space
-    space.require_feasible()
     return space
 
 
@@ -302,6 +428,7 @@ def _partition_islands(
     counts: Mapping[int, int],
     cfg: SynthesisConfig,
     cache: Optional[Dict[Tuple[int, int, int, str], List[Set[str]]]] = None,
+    vcg_digests: Optional[Dict[int, str]] = None,
 ) -> Dict[int, List[Set[str]]]:
     """Step 11: k-way min-cut partition of every island's VCG.
 
@@ -309,8 +436,15 @@ def _partition_islands(
     ``(island, k, seed, method)``; partitioning is deterministic in
     those inputs, and the returned groups are never mutated downstream,
     so sharing entries is safe.
+
+    Behind the in-run cache sits the cross-run partition tier of the
+    active :class:`~repro.cache.store.CacheStore`, keyed by the exact
+    ``partition_graph`` inputs (content-addressed: any spec producing
+    the same island VCG shares entries).  Objective-independent, so
+    objective re-runs hit it even when the space tier misses.
     """
     recorder = active_recorder()
+    store = active_store() if cfg.enable_caches else None
     partitions: Dict[int, List[Set[str]]] = {}
     for isl in sorted(counts):
         k = counts[isl]
@@ -323,18 +457,72 @@ def _partition_islands(
                     recorder.count("partition_cache_hits")
                 continue
         vcg = vcgs[isl]
-        parts = partition_graph(
+        graph_args = (
             list(vcg.nodes),
             vcg.symmetric_weights(),
             k,
-            max_part_size=plans[isl].max_switch_size,
-            seed=cfg.seed,
-            method=cfg.partition_method,
         )
+        skey: Optional[str] = None
+        if store is not None:
+            try:
+                digest = None if vcg_digests is None else vcg_digests.get(isl)
+                if digest is None:
+                    digest = vcg_key(graph_args[0], graph_args[1])
+                    if vcg_digests is not None:
+                        vcg_digests[isl] = digest
+                skey = partition_key(
+                    digest,
+                    k,
+                    plans[isl].max_switch_size,
+                    cfg.seed,
+                    cfg.partition_method,
+                )
+            except CacheKeyError:
+                store.record_key_error()
+        parts: Optional[List[Set[str]]] = None
+        if skey is not None:
+            hit = store.get_object(skey, "partition")
+            if hit is not None:
+                part_lists, header = hit
+                parts = [set(p) for p in part_lists]
+                if store.should_verify():
+                    fresh = partition_graph(
+                        graph_args[0],
+                        graph_args[1],
+                        k,
+                        max_part_size=plans[isl].max_switch_size,
+                        seed=cfg.seed,
+                        method=cfg.partition_method,
+                    )
+                    store.check_signature(
+                        header,
+                        partition_signature(fresh),
+                        "partition island=%d k=%d" % (isl, k),
+                    )
+        if parts is None:
+            parts = partition_graph(
+                graph_args[0],
+                graph_args[1],
+                k,
+                max_part_size=plans[isl].max_switch_size,
+                seed=cfg.seed,
+                method=cfg.partition_method,
+            )
+            if recorder is not None and cache is not None:
+                recorder.count("partition_cache_misses")
+            if skey is not None:
+                # JSON codec: a partition is just lists of core names,
+                # and sorted inner lists keep the blob canonical (sets
+                # pickle in hash-seed-dependent iteration order).
+                store.put_object(
+                    skey,
+                    [sorted(p) for p in parts],
+                    "partition",
+                    sig=partition_signature(parts),
+                    codec="json",
+                )
         if cache is not None:
             cache[key] = parts
-            if recorder is not None:
-                recorder.count("partition_cache_misses")
         partitions[isl] = parts
     return partitions
 

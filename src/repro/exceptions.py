@@ -42,6 +42,29 @@ class FloorplanError(ReproError):
     """Floorplanning failed (components do not fit, bad geometry...)."""
 
 
+class CacheError(ReproError):
+    """A content-addressed cache operation failed."""
+
+
+class CacheKeyError(CacheError):
+    """An object cannot be canonicalized into a cache key.
+
+    Raised by :func:`repro.cache.keys.canonical` for values with no
+    stable, content-addressed representation (open file handles,
+    arbitrary object instances...).  Call sites treat this as
+    "uncacheable" and fall through to the cold path.
+    """
+
+
+class CacheCorruptionError(CacheError):
+    """A cached entry failed verification against a fresh recompute.
+
+    Raised by the ``verify_on_hit`` sampling mode when the stored
+    result's signature differs from the recomputed one — either the
+    blob was corrupted past the checksum, or determinism was broken.
+    """
+
+
 class ValidationError(ReproError):
     """A synthesized topology violates a structural invariant.
 

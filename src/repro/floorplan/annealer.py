@@ -9,6 +9,20 @@ whole problem), re-tiles that island, and re-places switches.
 Seeded and deterministic; disabled by default in synthesis because the
 constructive placement is already adequate for the power trends, but
 exposed for the floorplan-quality ablation.
+
+Two evaluation strategies produce bit-identical anneals:
+
+* the *reference* path re-runs the full constructive placement per
+  move (``AnnealConfig.incremental=False``);
+* the *incremental* path (default) keeps the floorplan skeleton —
+  chip outline and island regions are invariant under in-island swaps
+  — re-tiles only the moved island, re-places switches from the
+  updated NI anchors, and refreshes only the per-link cost terms whose
+  endpoints moved.  The candidate cost is re-summed over all links in
+  the canonical ``topology.links.values()`` order with the exact same
+  float terms the reference path would produce, so acceptance
+  decisions (and therefore the RNG stream and the final floorplan)
+  match the reference path bit for bit.
 """
 
 from __future__ import annotations
@@ -16,10 +30,12 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Set
 
 from ..arch.topology import Topology
-from .placer import Floorplan, FloorplanConfig, place
+from .geometry import Point, Rect
+from .islands import slice_regions
+from .placer import Floorplan, FloorplanConfig, _place_switches, place
 from .wires import wirelength_objective
 
 
@@ -32,6 +48,10 @@ class AnnealConfig:
     cooling: float = 0.93
     moves_per_temperature: int = 24
     min_temperature: float = 0.01
+    #: Per-move delta evaluation: re-tile only the moved island instead
+    #: of re-running the full constructive placement.  Equal results by
+    #: construction; the reference path stays as the parity oracle.
+    incremental: bool = True
 
 
 def anneal_placement(
@@ -41,6 +61,17 @@ def anneal_placement(
 ) -> Floorplan:
     """Anneal per-island core orderings; return the best floorplan found."""
     cfg = anneal or AnnealConfig()
+    if cfg.incremental:
+        return _anneal_incremental(topology, config, cfg)
+    return _anneal_reference(topology, config, cfg)
+
+
+def _anneal_reference(
+    topology: Topology,
+    config: Optional[FloorplanConfig],
+    cfg: AnnealConfig,
+) -> Floorplan:
+    """Full-recompute anneal: one constructive placement per move."""
     rng = random.Random(cfg.seed)
     spec = topology.spec
     order: Dict[int, List[str]] = {
@@ -75,6 +106,114 @@ def anneal_placement(
                     best_cost = cost
                     best_fp = fp
                     best_order = {k: list(v) for k, v in order.items()}
+            else:
+                cores[i], cores[j] = cores[j], cores[i]  # revert
+        temperature *= cfg.cooling
+    return best_fp
+
+
+def _anneal_incremental(
+    topology: Topology,
+    config: Optional[FloorplanConfig],
+    cfg: AnnealConfig,
+) -> Floorplan:
+    """Delta-evaluated anneal: re-tile only the moved island per move."""
+    rng = random.Random(cfg.seed)
+    spec = topology.spec
+    order: Dict[int, List[str]] = {
+        isl: list(spec.cores_in_island(isl)) for isl in spec.islands
+    }
+    current_fp = place(topology, config, core_order=order)
+
+    # Mutable placement state, seeded from the constructive placement.
+    # The chip outline and island regions never change: in-island swaps
+    # preserve every region's area, and the slicing of the die depends
+    # only on those areas.
+    chip = current_fp.chip
+    island_rects: Dict[int, Rect] = dict(current_fp.island_rects)
+    core_rects: Dict[str, Rect] = dict(current_fp.core_rects)
+    ni_pos: Dict[str, Point] = dict(current_fp.ni_pos)
+    switch_pos: Dict[str, Point] = dict(current_fp.switch_pos)
+
+    core_to_nis: Dict[str, List[str]] = {}
+    for nid, ni in topology.nis.items():
+        core_to_nis.setdefault(ni.core, []).append(nid)
+    links_of: Dict[str, List[int]] = {}
+    for link in topology.links.values():
+        links_of.setdefault(link.src, []).append(link.id)
+        links_of.setdefault(link.dst, []).append(link.id)
+
+    def term(link, nis: Mapping[str, Point], sws: Mapping[str, Point]) -> float:
+        src = sws[link.src] if link.src in sws else nis[link.src]
+        dst = sws[link.dst] if link.dst in sws else nis[link.dst]
+        return src.manhattan(dst) * max(link.used_mbps, 1.0)
+
+    # Per-link cost terms; the total is always re-summed in canonical
+    # link order so it is the same float the reference path computes.
+    terms: Dict[int, float] = {
+        link.id: term(link, ni_pos, switch_pos)
+        for link in topology.links.values()
+    }
+    current_cost = 0.0
+    for link in topology.links.values():
+        current_cost += terms[link.id]
+    best_cost = current_cost
+    best_fp = current_fp
+
+    movable = [isl for isl, cores in order.items() if len(cores) >= 2]
+    if not movable:
+        return current_fp
+
+    temperature = cfg.initial_temperature * max(current_cost, 1.0)
+    floor = cfg.min_temperature * max(current_cost, 1.0)
+    while temperature > floor:
+        for _ in range(cfg.moves_per_temperature):
+            isl = movable[rng.randrange(len(movable))]
+            cores = order[isl]
+            i, j = rng.sample(range(len(cores)), 2)
+            cores[i], cores[j] = cores[j], cores[i]
+
+            # Re-tile just the moved island and refresh its NI anchors.
+            entries = [(c, spec.core(c).area_mm2) for c in cores]
+            placed = slice_regions(island_rects[isl], entries)
+            cand_ni = dict(ni_pos)
+            changed: Set[str] = set()
+            for c, r in placed.items():
+                for nid in core_to_nis.get(str(c), ()):
+                    p = r.center
+                    if cand_ni[nid] != p:
+                        cand_ni[nid] = p
+                        changed.add(nid)
+            cand_sw = _place_switches(topology, island_rects, cand_ni)
+            for sid, p in cand_sw.items():
+                if switch_pos[sid] != p:
+                    changed.add(sid)
+
+            cand_terms = dict(terms)
+            for comp in changed:
+                for lid in links_of.get(comp, ()):
+                    cand_terms[lid] = term(topology.links[lid], cand_ni, cand_sw)
+            cost = 0.0
+            for link in topology.links.values():
+                cost += cand_terms[link.id]
+
+            delta = cost - current_cost
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                current_cost = cost
+                for c, r in placed.items():
+                    core_rects[str(c)] = r
+                ni_pos = cand_ni
+                switch_pos = cand_sw
+                terms = cand_terms
+                if cost < best_cost:
+                    best_cost = cost
+                    best_fp = Floorplan(
+                        chip=chip,
+                        island_rects=dict(island_rects),
+                        core_rects=dict(core_rects),
+                        switch_pos=dict(switch_pos),
+                        ni_pos=dict(ni_pos),
+                    )
             else:
                 cores[i], cores[j] = cores[j], cores[i]  # revert
         temperature *= cfg.cooling

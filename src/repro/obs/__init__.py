@@ -36,6 +36,7 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    record_cache_metrics,
     record_control_metrics,
     record_runtime_metrics,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "island_gantt_lines",
     "phase_breakdown_lines",
     "prometheus_text",
+    "record_cache_metrics",
     "record_control_metrics",
     "record_runtime_metrics",
     "recovery_timeline_lines",

@@ -375,3 +375,55 @@ def record_control_metrics(registry: MetricsRegistry, report) -> None:
         total_degraded += rec.degraded_window_ms
     lost.set(total_lost)
     degraded.set(total_degraded)
+
+
+def record_cache_metrics(registry: MetricsRegistry, stats) -> None:
+    """Project :class:`~repro.cache.store.CacheStats` into metrics.
+
+    Emits the ``cache.*`` counter family the dashboard's top-counters
+    panel shows: hits labeled by storage tier and entry kind, misses by
+    kind, evictions, bytes moved, corruption/verification events.
+    ``stats`` may be a :class:`~repro.cache.store.CacheStore`, a
+    :class:`~repro.cache.store.CacheStats` or a raw counter mapping
+    (a worker's shipped delta).
+    """
+    counters = getattr(stats, "stats", stats)
+    counters = getattr(counters, "counters", counters)
+    hits = registry.counter("cache.hits", "cache hits by tier and kind")
+    misses = registry.counter("cache.misses", "cache misses by kind")
+    evictions = registry.counter("cache.evictions", "LRU evictions by tier")
+    bytes_written = registry.counter(
+        "cache.bytes_written", "bytes persisted to the disk tier"
+    )
+    bytes_read = registry.counter("cache.bytes_read", "bytes read by tier")
+    corrupt = registry.counter(
+        "cache.corrupt_entries", "entries dropped as corrupt"
+    )
+    verify = registry.counter(
+        "cache.verify", "verify_on_hit recomputes by outcome"
+    )
+    key_errors = registry.counter(
+        "cache.key_errors", "values that refused canonicalization"
+    )
+    for name in sorted(counters):
+        value = counters[name]
+        parts = name.split(".")
+        event = parts[0]
+        if event == "hits" and len(parts) == 3:
+            hits.inc(value, tier=parts[1], kind=parts[2])
+        elif event == "misses" and len(parts) == 2:
+            misses.inc(value, kind=parts[1])
+        elif event == "evictions":
+            evictions.inc(value, tier=parts[1] if len(parts) > 1 else "memory")
+        elif event == "bytes_written":
+            bytes_written.inc(value)
+        elif event == "bytes_read":
+            bytes_read.inc(value, tier=parts[1] if len(parts) > 1 else "disk")
+        elif event == "corrupt":
+            corrupt.inc(value, where=parts[1] if len(parts) > 1 else "disk")
+        elif event == "verify_runs":
+            verify.inc(value, outcome="run")
+        elif event == "verify_mismatches":
+            verify.inc(value, outcome="mismatch")
+        elif event == "key_errors":
+            key_errors.inc(value)

@@ -1,5 +1,7 @@
 """Floorplanning: geometry, slicing, placement, wires, annealing."""
 
+import dataclasses
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -216,3 +218,20 @@ class TestAnnealer:
         for core in tiny_spec.core_names:
             isl = tiny_spec.island_of(core)
             assert fp.island_rects[isl].contains_rect(fp.core_rects[core], tol=1e-6)
+
+    @pytest.mark.parametrize("seed", [0, 1, 5])
+    def test_incremental_matches_reference(self, tiny_best, seed):
+        topo = tiny_best.topology
+        base = AnnealConfig(seed=seed, moves_per_temperature=8, cooling=0.7)
+        ref = anneal_placement(
+            topo, anneal=dataclasses.replace(base, incremental=False)
+        )
+        inc = anneal_placement(
+            topo, anneal=dataclasses.replace(base, incremental=True)
+        )
+        assert ref.chip == inc.chip
+        assert ref.island_rects == inc.island_rects
+        assert ref.core_rects == inc.core_rects
+        assert ref.ni_pos == inc.ni_pos
+        assert ref.switch_pos == inc.switch_pos
+        assert wirelength_objective(topo, ref) == wirelength_objective(topo, inc)
