@@ -14,7 +14,12 @@ replay (see docs/observability.md):
    JSON-lines event log (spans + controller telemetry), Prometheus
    text — into ``obs_out/``;
 5. render the terminal dashboard (phase breakdown, recovery timeline,
-   island-state Gantt rows, top counters) and its static HTML twin.
+   island-state Gantt rows, top counters) and its static HTML twin;
+6. stream a ``workers=2`` exploration sweep live through the event
+   bus — progress, heartbeats and per-task span events land in a
+   tail-able JSONL feed (``repro-noc obs --follow`` can watch it from
+   another terminal) whose timing-stripped canonical form is
+   byte-identical to the post-hoc export of the same run.
 
 Run:  PYTHONPATH=src python examples/observability_tour.py
 """
@@ -29,16 +34,26 @@ from repro import (
     synthesize,
 )
 from repro.control import ReconfigurationController
+from repro.core.explore import ExplorationEngine
 from repro.obs import (
+    EventBus,
+    JsonlSink,
+    LiveStatus,
+    MemorySink,
     MetricsRegistry,
     SpanRecorder,
+    canonical_events,
     chrome_trace_json,
+    event_lines,
     prometheus_text,
+    read_events,
     record_control_metrics,
     record_runtime_metrics,
     render_dashboard,
     render_html,
     span_log_lines,
+    status_lines,
+    streaming,
     telemetry_log_lines,
     tracing,
     write_lines,
@@ -125,11 +140,34 @@ def main() -> None:
             )
         )
 
+    # 6: live streaming — the same sweep twice over, once through a
+    # tail-able JSONL sink and once into memory, to show the
+    # live-vs-post-hoc byte-identity guarantee the bench harness gates.
+    live_path = os.path.join(OUT_DIR, "live_events.jsonl")
+    capture = MemorySink()
+    with streaming(EventBus(sinks=[capture, JsonlSink(live_path, timing=False)])):
+        with ExplorationEngine(
+            workers=2, config=SynthesisConfig(max_intermediate=1)
+        ) as engine:
+            engine.alpha_exploration(spec, [0.2, 0.5, 0.8])
+    status = LiveStatus()
+    for ev in capture.events:
+        status.apply(ev)
+    for line in status_lines(status):
+        print(line)
+    live = event_lines(canonical_events(read_events(live_path)), timing=False)
+    posthoc = event_lines(canonical_events(capture.events), timing=False)
+    assert live == posthoc, "live feed must match the post-hoc export"
+
     print("spans recorded: %d  (root paths: synthesis, runtime.simulate, control.run)" % len(tracer.spans))
     print("wrote %s  (drop on https://ui.perfetto.dev)" % trace_path)
     print("wrote %s  (%d span + telemetry lines)" % (events_path, n))
     print("wrote %s  (Prometheus text format)" % prom_path)
     print("wrote %s  (self-contained static page)" % html_path)
+    print(
+        "wrote %s  (%d live events, byte-identical to the post-hoc export"
+        " — tail with `repro-noc obs --follow`)" % (live_path, len(live))
+    )
 
 
 if __name__ == "__main__":

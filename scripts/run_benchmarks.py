@@ -55,6 +55,12 @@ Chrome-trace and JSON-lines exports of two identical traced runs
 span streams from at least two distinct worker pids into one trace
 (see docs/observability.md); all three flags participate in the exit
 code, and ``--obs-trace PATH`` writes the merged Perfetto trace.
+The streaming section gates the live event-bus overhead on the same
+scaling size at <2% (same best-of-paired-windows method), checks that
+the live JSONL feed of a ``workers=2`` sweep is byte-identical to the
+post-hoc export of the same run once timing fields are stripped, and
+re-runs the sweep for byte-identical determinism; ``--events-out PATH``
+keeps the live feed (the CI artifact).
 
 Usage::
 
@@ -889,6 +895,155 @@ def run_observability(
     }
 
 
+def run_streaming(
+    sizes: List[int],
+    events_path: Optional[str] = None,
+    reps: int = 5,
+) -> Dict[str, object]:
+    """Streaming-bus overhead and live-vs-post-hoc agreement gates.
+
+    Three gates, all folded into the harness exit code:
+
+    * **overhead_ok** — the marginal cost of an active
+      :class:`EventBus` *on top of* the recorder+tracer stack the span
+      gate already prices: ``reps`` adjacent window pairs on the
+      largest scaling size, minimum pair fraction under 2% (the same
+      best-of-paired-windows method — see :func:`run_observability`
+      for why the min is the right estimator on noisy hosts);
+    * **live_matches_posthoc** — a ``workers=2`` alpha sweep streamed
+      through a tail-able JSONL sink must, after canonical
+      ``(process, seq)`` ordering and timing-stripping, serialize
+      byte-identically to the post-hoc export of the in-memory capture
+      of the *same* run — the live view and the archived view agree
+      exactly;
+    * **deterministic** — a second identical sweep produces the same
+      canonical timing-stripped event lines byte for byte.
+
+    With ``events_path`` the live JSONL feed of the first sweep is
+    written there (the CI artifact); otherwise a scratch file is used.
+    """
+    import tempfile
+
+    from repro.obs import (  # noqa: E402
+        EventBus,
+        JsonlSink,
+        MemorySink,
+        SpanRecorder,
+        canonical_events,
+        event_lines,
+        read_events,
+        streaming,
+        tracing,
+    )
+
+    t_section = time.perf_counter()
+    # --- bus overhead (largest size, interleaved window pairs) --------
+    big = _scaling_spec(max(sizes))
+    t0 = time.perf_counter()
+    synthesize(big, config=FAST)  # warm-up; also sizes the inner loop
+    single_s = time.perf_counter() - t0
+    inner = max(1, int(round(0.25 / max(single_s, 1e-9))))
+    fractions: List[float] = []
+    plain_s = stream_s = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        with recording(PerfRecorder()), tracing(SpanRecorder()):
+            for _ in range(inner):
+                synthesize(big, config=FAST)
+        plain = (time.perf_counter() - t0) / inner
+        t0 = time.perf_counter()
+        with recording(PerfRecorder()), tracing(SpanRecorder()), \
+                streaming(EventBus()):
+            for _ in range(inner):
+                synthesize(big, config=FAST)
+        streamed = (time.perf_counter() - t0) / inner
+        fractions.append((streamed - plain) / plain if plain > 0 else 0.0)
+        plain_s = min(plain_s, plain)
+        stream_s = min(stream_s, streamed)
+    overhead_fraction = min(fractions)
+    overhead_ok = overhead_fraction < 0.02
+    print(
+        "  overhead: tracer-only %.4fs vs tracer+bus %.4fs "
+        "(best pair %+.2f%%, gate <2%%) -> %s"
+        % (
+            plain_s,
+            stream_s,
+            100.0 * overhead_fraction,
+            "PASS" if overhead_ok else "FAIL",
+        )
+    )
+
+    # --- live JSONL vs post-hoc export (workers=2 sweep) --------------
+    small = _scaling_spec(min(sizes))
+    alphas = [0.2, 0.4, 0.6, 0.8]
+
+    def sweep_stream(path: Optional[str]) -> list:
+        capture = MemorySink()
+        sinks: list = [capture]
+        if path is not None:
+            sinks.append(JsonlSink(path, timing=False))
+        with streaming(EventBus(sinks=sinks)):
+            with ExplorationEngine(workers=2, config=FAST) as engine:
+                engine.alpha_exploration(small, alphas)
+        return capture.events
+
+    if events_path is None:
+        fd, live_path = tempfile.mkstemp(suffix=".jsonl")
+        os.close(fd)
+    else:
+        live_path = events_path
+    captured = sweep_stream(live_path)
+    live = event_lines(canonical_events(read_events(live_path)), timing=False)
+    posthoc = event_lines(canonical_events(captured), timing=False)
+    live_matches_posthoc = live == posthoc
+    processes = sorted({e.process for e in captured})
+    print(
+        "  live vs post-hoc: %d events over %d process streams, "
+        "byte-identical=%s -> %s"
+        % (
+            len(captured),
+            len(processes),
+            live_matches_posthoc,
+            "PASS" if live_matches_posthoc else "FAIL",
+        )
+    )
+    if events_path is not None:
+        print("  wrote live event feed %s (%d lines)" % (events_path, len(live)))
+    else:
+        os.unlink(live_path)
+
+    # --- rerun determinism --------------------------------------------
+    second = sweep_stream(None)
+    deterministic = posthoc == event_lines(canonical_events(second), timing=False)
+    print(
+        "  rerun determinism: %d vs %d events, byte-identical=%s -> %s"
+        % (
+            len(captured),
+            len(second),
+            deterministic,
+            "PASS" if deterministic else "FAIL",
+        )
+    )
+
+    return {
+        "overhead": {
+            "cores": max(sizes),
+            "reps": reps,
+            "inner_loops": inner,
+            "plain_seconds": round(plain_s, 6),
+            "streamed_seconds": round(stream_s, 6),
+            "pair_fractions": [round(f, 6) for f in fractions],
+            "fraction": round(overhead_fraction, 6),
+        },
+        "overhead_ok": overhead_ok,
+        "events": len(captured),
+        "process_streams": len(processes),
+        "live_matches_posthoc": live_matches_posthoc,
+        "deterministic": deterministic,
+        "seconds": round(time.perf_counter() - t_section, 4),
+    }
+
+
 def previous_comparable_total(history_dir: str, sizes: List[int]) -> Optional[Dict[str, object]]:
     """Scaling total of the newest archived snapshot with these sizes.
 
@@ -1119,6 +1274,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="PATH",
         help="write the merged multi-process Perfetto trace JSON here",
     )
+    parser.add_argument(
+        "--events-out",
+        default=None,
+        metavar="PATH",
+        help="write the streamed live event JSONL of the workers=2 sweep here",
+    )
     args = parser.parse_args(argv)
     if args.keep is not None and args.keep < 1:
         parser.error("--keep must be >= 1")
@@ -1161,6 +1322,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     print("observability (overhead, export determinism, merged worker trace):")
     observability = run_observability(sizes, obs_trace_path=args.obs_trace)
+    print("streaming (bus overhead, live-vs-post-hoc, rerun determinism):")
+    streaming_section = run_streaming(sizes, events_path=args.events_out)
 
     result: Dict[str, object] = {
         "meta": {
@@ -1180,6 +1343,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "resilience": resilience,
         "control_plane": control_plane,
         "observability": observability,
+        "streaming": streaming_section,
     }
     if args.baseline_seconds is not None:
         result["baseline"] = {
@@ -1219,6 +1383,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         and observability["overhead_ok"]
         and observability["deterministic_exports"]
         and observability["merged_worker_trace"]
+        and streaming_section["overhead_ok"]
+        and streaming_section["live_matches_posthoc"]
+        and streaming_section["deterministic"]
     ) else 1
 
 

@@ -337,7 +337,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         objective=objective,
     )
     scope, store = _cache_scope(args)
-    with scope, engine:
+    # --live / --events install an event bus around the sweep: the
+    # engine streams progress (and worker span/heartbeat batches)
+    # through it, rendered in place and/or appended to a tail-able
+    # JSONL feed another `repro-noc obs --follow` can watch.
+    sinks: list = []
+    events_sink = None
+    if args.live:
+        from .obs import LiveRenderer
+
+        sinks.append(LiveRenderer(stream=sys.stderr))
+    if args.events:
+        from .obs import JsonlSink
+
+        events_sink = JsonlSink(args.events, timing=not args.no_timing)
+        sinks.append(events_sink)
+    if sinks:
+        from .obs import EventBus, streaming
+
+        stream_scope = streaming(EventBus(sinks=sinks))
+    else:
+        stream_scope = contextlib.nullcontext()
+    with scope, stream_scope, engine:
         tasks = [
             engine.task(
                 _partitioned(args.benchmark, n, strategy),
@@ -347,6 +368,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             for n in counts
         ]
         rows = [r.row() for r in engine.run(tasks)]
+    if events_sink is not None:
+        print("wrote %s (%d events)" % (args.events, events_sink.lines_written))
     _print_cache_stats(store)
     print(
         format_table(
@@ -621,7 +644,34 @@ def _controlled_replay(args: argparse.Namespace):
 
 
 def _cmd_control(args: argparse.Namespace) -> int:
-    trace, scenario, event, report = _controlled_replay(args)
+    if args.stream:
+        # Live mode: every controller observation prints the moment it
+        # is emitted (per-fault emission order), before the post-hoc
+        # tables below — the CLI face of the streaming event bus.
+        from .obs import CallbackSink, EventBus, streaming
+
+        def _print_live(ev) -> None:
+            if ev.kind != "telemetry":
+                return
+            a = ev.attrs
+            t_ms = a.get("t_ms")
+            flow = " %s" % a["flow"] if a.get("flow") else ""
+            detail = " (%s)" % a["detail"] if a.get("detail") else ""
+            print(
+                "[%10.4f ms] %-17s %s%s%s"
+                % (
+                    t_ms if isinstance(t_ms, (int, float)) else float("nan"),
+                    ev.name,
+                    a.get("scenario", ""),
+                    flow,
+                    detail,
+                )
+            )
+
+        with streaming(EventBus(sinks=[CallbackSink(_print_live)])):
+            trace, scenario, event, report = _controlled_replay(args)
+    else:
+        trace, scenario, event, report = _controlled_replay(args)
     print(
         format_table(
             recovery_rows(report.recoveries),
@@ -660,6 +710,23 @@ def _cmd_control(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.follow:
+        # Follow mode tails a JSONL event feed another process writes
+        # (e.g. `repro-noc sweep --events F --live` elsewhere); no
+        # replay happens here, so the benchmark argument is unused.
+        from .obs import follow_render, status_lines
+
+        status = follow_render(
+            args.follow,
+            stream=sys.stderr,
+            idle_timeout_s=args.follow_timeout,
+        )
+        print("followed %s: %d events" % (args.follow, status.events))
+        for line in status_lines(status):
+            print(line)
+        return 0
+    if args.benchmark is None:
+        raise ReproError("benchmark is required unless --follow is given")
     from .obs import (
         MetricsRegistry,
         SpanRecorder,
@@ -790,8 +857,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list", help="list built-in benchmarks")
     p_list.set_defaults(func=_cmd_list)
 
-    def common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("benchmark", help="benchmark name (see `list`)")
+    def common(
+        p: argparse.ArgumentParser, optional_benchmark: bool = False
+    ) -> None:
+        if optional_benchmark:
+            p.add_argument(
+                "benchmark",
+                nargs="?",
+                default=None,
+                help="benchmark name (see `list`; optional with --follow)",
+            )
+        else:
+            p.add_argument("benchmark", help="benchmark name (see `list`)")
         p.add_argument("--islands", type=int, default=4, help="voltage island count")
         p.add_argument(
             "--strategy",
@@ -836,6 +913,21 @@ def build_parser() -> argparse.ArgumentParser:
         choices=KERNEL_CHOICES,
         default="auto",
         help="routing kernel (auto resolves via $%s, default vector)" % KERNEL_ENV_VAR,
+    )
+    p_sweep.add_argument(
+        "--live",
+        action="store_true",
+        help="render live sweep progress (stderr) from the event stream",
+    )
+    p_sweep.add_argument(
+        "--events",
+        help="append the event stream as tail-able JSON lines "
+        "(follow with `repro-noc obs --follow PATH`)",
+    )
+    p_sweep.add_argument(
+        "--no-timing",
+        action="store_true",
+        help="strip wall-clock fields from --events (byte-deterministic)",
     )
     _add_objective_args(p_sweep)
     _add_cache_args(p_sweep)
@@ -935,9 +1027,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_res.set_defaults(func=_cmd_resilience)
 
-    def control_knobs(p: argparse.ArgumentParser) -> None:
+    def control_knobs(
+        p: argparse.ArgumentParser, optional_benchmark: bool = False
+    ) -> None:
         """Controlled-replay knobs shared by ``control`` and ``obs``."""
-        common(p)
+        common(p, optional_benchmark=optional_benchmark)
         _add_fault_args(p)
         p.add_argument(
             "--scenario",
@@ -995,13 +1089,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry-out",
         help="write the telemetry stream as a JSON-lines event log",
     )
+    p_ctl.add_argument(
+        "--stream",
+        action="store_true",
+        help="print controller observations live as they are emitted",
+    )
     p_ctl.set_defaults(func=_cmd_control)
 
     p_obs = sub.add_parser(
         "obs",
         help="observability dashboard over a traced, controlled replay",
     )
-    control_knobs(p_obs)
+    control_knobs(p_obs, optional_benchmark=True)
+    p_obs.add_argument(
+        "--follow",
+        metavar="EVENTS_JSONL",
+        help="tail a live JSONL event feed from another process "
+        "instead of running a replay",
+    )
+    p_obs.add_argument(
+        "--follow-timeout",
+        type=float,
+        default=5.0,
+        help="stop following after this many idle seconds",
+    )
     p_obs.add_argument(
         "--html", help="write the dashboard as a static HTML page instead"
     )

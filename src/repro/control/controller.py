@@ -71,6 +71,7 @@ from .telemetry import (
     FaultRecovery,
     FlowRecovery,
     TelemetryEvent,
+    publish_telemetry,
     sort_telemetry,
 )
 
@@ -322,15 +323,15 @@ class ReconfigurationController:
 
         def emit(t_ms: float, kind: str, flow=None, detail: str = "") -> None:
             if t_ms <= total_ms + 1e-12:
-                telemetry.append(
-                    TelemetryEvent(
-                        t_ms=t_ms,
-                        kind=kind,
-                        scenario=sc.name,
-                        flow=flow,
-                        detail=detail,
-                    )
+                event = TelemetryEvent(
+                    t_ms=t_ms,
+                    kind=kind,
+                    scenario=sc.name,
+                    flow=flow,
+                    detail=detail,
                 )
+                telemetry.append(event)
+                publish_telemetry(event)
 
         for ev_idx, event in enumerate(events):
             sc = event.scenario

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..arch.topology import FlowKey
+from ..obs.stream import active_bus as _active_bus
 
 #: Telemetry event kinds, in per-timestamp presentation order.
 TELEMETRY_KINDS: Tuple[str, ...] = (
@@ -65,6 +66,33 @@ class TelemetryEvent:
             flow,
             detail,
         )
+
+
+def publish_telemetry(event: TelemetryEvent, bus=None) -> bool:
+    """Stream ``event`` onto the obs event bus, if one is active.
+
+    The controller calls this as it emits — live observers see the
+    stream in *emission* order (per fault, deterministic), while the
+    post-hoc report keeps the canonical :func:`sort_telemetry` order.
+    ``t_ms`` is simulated trace time, fully deterministic, so it rides
+    in ``attrs`` rather than the droppable ``timing`` block.  Returns
+    whether an event was published.
+    """
+    target = bus if bus is not None else _active_bus()
+    if target is None:
+        return False
+    target.emit(
+        "telemetry",
+        event.kind,
+        attrs={
+            "t_ms": round(event.t_ms, 6) if math.isfinite(event.t_ms) else None,
+            "kind": event.kind,
+            "scenario": event.scenario,
+            "flow": "%s->%s" % event.flow if event.flow else None,
+            "detail": event.detail,
+        },
+    )
+    return True
 
 
 def sort_telemetry(events: Sequence[TelemetryEvent]) -> Tuple[TelemetryEvent, ...]:

@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import InfeasibleError, SpecError
 from ..obs.spans import SpanRecorder, active_tracer, span, tracing
+from ..obs.stream import EventBus, active_bus, streaming
 from ..perf.instrument import PerfRecorder, active_recorder, recording
 from ..power.gating import GatingModel
 from ..power.library import DEFAULT_LIBRARY, NocLibrary
@@ -269,9 +270,23 @@ def _execute_descriptor(desc: _TaskDescriptor):
         if store is None:
             return record, None
         return record, {"cache": store.stats.diff(stats_before)}
-    with recording(PerfRecorder()) as rec, tracing(SpanRecorder()) as tracer:
+    with recording(PerfRecorder()) as rec, tracing(SpanRecorder()) as tracer, \
+            streaming(EventBus(process="worker")) as bus:
+        bus.emit(
+            "heartbeat",
+            "task",
+            attrs={"phase": "start", "knobs": dict(desc.knobs)},
+        )
         record = _run_one(spec, library, config, desc.knobs, select)
-    payload = {"perf": rec.snapshot(), "spans": tracer.snapshot()}
+        bus.emit(
+            "heartbeat",
+            "task",
+            attrs={"phase": "end", "feasible": record.feasible},
+        )
+        # Drain (not snapshot): each result ships exactly this task's
+        # events; the parent relabels the batch ``task<i>`` on ingest.
+        events = bus.drain_snapshot()
+    payload = {"perf": rec.snapshot(), "spans": tracer.snapshot(), "events": events}
     if store is not None:
         payload["cache"] = store.stats.diff(stats_before)
     return record, payload
@@ -394,16 +409,70 @@ class ExplorationEngine:
         #: plus strong references that keep the ``id()`` values stable.
         self._pool_key: Optional[tuple] = None
         self._pool_refs: tuple = ()
+        #: In-flight futures of the current parallel :meth:`run`, with
+        #: their deterministic ``task<i>`` labels and a merged flag —
+        #: :meth:`close` flushes the obs payloads of completed tasks
+        #: the result loop never reached (mid-sweep teardown).
+        self._inflight: List[Dict[str, object]] = []
+        self._obs_targets: Optional[tuple] = None
 
     # -- pool lifecycle ------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent; serial engines no-op)."""
+        """Shut down the worker pool (idempotent; serial engines no-op).
+
+        Tasks still queued are cancelled, running ones are allowed to
+        finish, and the obs payloads (perf/span/event/cache snapshots)
+        of any *completed but unmerged* tasks are flushed into the
+        recorders that were active when the sweep started — a pool torn
+        down mid-sweep loses no observability.
+        """
         pool, self._pool = self._pool, None
         self._pool_key = None
         self._pool_refs = ()
         if pool is not None:
-            pool.shutdown()
+            pool.shutdown(wait=True, cancel_futures=True)
+        self._flush_inflight()
+
+    def _flush_inflight(self) -> int:
+        """Merge obs payloads of completed-but-unmerged tasks; count them."""
+        inflight, self._inflight = self._inflight, []
+        targets, self._obs_targets = self._obs_targets, None
+        if not inflight or targets is None:
+            return 0
+        flushed = 0
+        for entry in inflight:
+            if entry["merged"]:
+                continue
+            future = entry["future"]
+            if (
+                not future.done()  # type: ignore[attr-defined]
+                or future.cancelled()  # type: ignore[attr-defined]
+                or future.exception() is not None  # type: ignore[attr-defined]
+            ):
+                continue
+            _, payload = future.result()  # type: ignore[attr-defined]
+            self._merge_payload(str(entry["label"]), payload, targets)
+            flushed += 1
+        return flushed
+
+    @staticmethod
+    def _merge_payload(label: str, payload, targets: tuple) -> None:
+        """Fold one worker obs payload into the parent-side recorders."""
+        if payload is None:
+            return
+        parent_rec, parent_tracer, parent_bus, parent_store = targets
+        if parent_rec is not None and "perf" in payload:
+            parent_rec.merge_snapshot(payload["perf"])
+        if parent_tracer is not None and "spans" in payload:
+            parent_tracer.merge(payload["spans"], process=label)
+        if parent_bus is not None and "events" in payload:
+            parent_bus.ingest(payload["events"], process=label)
+        if parent_store is not None and "cache" in payload:
+            # Worker hit/miss deltas fold into the parent store's
+            # stats, so sweep-level cache accounting covers the
+            # whole pool, not just the parent process.
+            parent_store.stats.merge(payload["cache"])
 
     def __enter__(self) -> "ExplorationEngine":
         return self
@@ -466,13 +535,51 @@ class ExplorationEngine:
         """
         tasks = list(tasks)
         if self.workers == 1 or len(tasks) <= 1:
-            return [_execute_task(t) for t in tasks]
+            bus = active_bus()
+            if bus is None:
+                return [_execute_task(t) for t in tasks]
+            # Streaming serial sweep: same progress feed as the pool
+            # path, so live observers need not care about ``workers``.
+            bus.emit(
+                "progress",
+                "sweep.start",
+                attrs={"tasks": len(tasks), "workers": 1},
+            )
+            from ..cache.context import active_store
+
+            store = active_store()
+            records = []
+            for i, t in enumerate(tasks):
+                before = store.stats.snapshot() if store is not None else None
+                record = _execute_task(t)
+                records.append(record)
+                self._emit_task_progress(
+                    bus,
+                    i,
+                    len(tasks),
+                    record,
+                    cache=store.stats.diff(before) if store is not None else None,
+                )
+            bus.emit(
+                "progress",
+                "sweep.done",
+                attrs={
+                    "tasks": len(tasks),
+                    "feasible": sum(1 for r in records if r.feasible),
+                },
+            )
+            return records
         from ..cache.context import active_store
 
         parent_rec = active_recorder()
         parent_tracer = active_tracer()
+        parent_bus = active_bus()
         parent_store = active_store()
-        collect = parent_rec is not None or parent_tracer is not None
+        collect = (
+            parent_rec is not None
+            or parent_tracer is not None
+            or parent_bus is not None
+        )
         specs: List[SoCSpec] = []
         spec_index: Dict[int, int] = {}
         descriptors: List[_TaskDescriptor] = []
@@ -497,28 +604,92 @@ class ExplorationEngine:
                 )
             )
         pool = self._ensure_pool(specs)
+        targets = (parent_rec, parent_tracer, parent_bus, parent_store)
+        futures = [pool.submit(_execute_descriptor, d) for d in descriptors]
+        self._inflight = [
+            {"future": f, "label": "task%d" % i, "merged": False}
+            for i, f in enumerate(futures)
+        ]
+        self._obs_targets = targets
+        if parent_bus is not None:
+            parent_bus.emit(
+                "progress",
+                "sweep.start",
+                attrs={"tasks": len(tasks), "workers": self.workers},
+            )
+        records: List[SweepRecord] = []
         try:
-            results = list(pool.map(_execute_descriptor, descriptors, chunksize=1))
+            # Results are consumed in submission order: the merge (and
+            # every progress event the parent emits) happens at a
+            # deterministic point in the stream even though worker
+            # scheduling is not.
+            for i, future in enumerate(futures):
+                record, payload = future.result()
+                self._inflight[i]["merged"] = True
+                self._merge_payload("task%d" % i, payload, targets)
+                records.append(record)
+                if parent_bus is not None:
+                    self._emit_task_progress(
+                        parent_bus,
+                        i,
+                        len(tasks),
+                        record,
+                        cache=payload.get("cache") if payload else None,
+                    )
         except Exception:
             # A broken pool (worker crash, unpicklable payload) stays
-            # broken; drop it so the next run starts clean.
+            # broken; drop it so the next run starts clean.  close()
+            # flushes the obs payloads of tasks that did complete.
             self.close()
             raise
-        records: List[SweepRecord] = []
-        for i, (record, payload) in enumerate(results):
-            records.append(record)
-            if payload is None:
-                continue
-            if parent_rec is not None and "perf" in payload:
-                parent_rec.merge_snapshot(payload["perf"])
-            if parent_tracer is not None and "spans" in payload:
-                parent_tracer.merge(payload["spans"], process="task%d" % i)
-            if parent_store is not None and "cache" in payload:
-                # Worker hit/miss deltas fold into the parent store's
-                # stats, so sweep-level cache accounting covers the
-                # whole pool, not just the parent process.
-                parent_store.stats.merge(payload["cache"])
+        self._inflight = []
+        self._obs_targets = None
+        if parent_bus is not None:
+            parent_bus.emit(
+                "progress",
+                "sweep.done",
+                attrs={
+                    "tasks": len(tasks),
+                    "feasible": sum(1 for r in records if r.feasible),
+                },
+            )
         return records
+
+    @staticmethod
+    def _emit_task_progress(
+        bus: EventBus,
+        index: int,
+        total: int,
+        record: SweepRecord,
+        cache: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        """One ``progress`` event per finished sweep point.
+
+        Wall-clock (the point's ``elapsed_s``) rides in ``timing`` so
+        the stream stays byte-deterministic under ``timing=False``;
+        ``cache`` is the task's hit/miss counter delta (live view of
+        the store's effectiveness per point).
+        """
+        attrs: Dict[str, object] = {
+            "index": index,
+            "total": total,
+            "knobs": dict(record.knobs),
+            "feasible": record.feasible,
+            "design_points": record.design_points,
+        }
+        if cache is not None:
+            attrs["cache_hits"] = sum(
+                v for k, v in cache.items() if k.startswith("hits.")
+            )
+            attrs["cache_misses"] = sum(
+                v for k, v in cache.items() if k.startswith("misses.")
+            )
+        bus.emit(
+            "progress",
+            "sweep.task",
+            attrs=attrs,
+            timing={"elapsed_s": record.elapsed_s},
+        )
 
     def task(
         self,

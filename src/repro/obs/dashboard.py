@@ -222,6 +222,32 @@ def counter_lines(
 
 
 # ----------------------------------------------------------------------
+# Panel 5: cache effectiveness
+# ----------------------------------------------------------------------
+
+
+def cache_lines(registry: MetricsRegistry, width: int = 24) -> List[str]:
+    """Per-tier cache hit rates from the ``cache.hit_rate`` gauge.
+
+    Empty when the registry carries no hit-rate samples (no cache
+    store was active), so the panel disappears rather than rendering
+    zeros.  The ``overall`` row is hits over *all* lookups; tier rows
+    share that denominator, so they sum to it.
+    """
+    gauge = registry.get("cache.hit_rate")
+    if gauge is None or not gauge.samples:
+        return []
+    lines = []
+    for key, value in sorted(gauge.samples.items()):
+        tier = dict(key).get("tier", "?")
+        lines.append(
+            "  %-14s %s %6.1f%% hit rate"
+            % (tier, _bar(value, width), 100.0 * value)
+        )
+    return lines
+
+
+# ----------------------------------------------------------------------
 # Assembly
 # ----------------------------------------------------------------------
 
@@ -247,6 +273,9 @@ def render_dashboard(
         sections.append(("island states", island_gantt_lines(report)))
     if registry is not None:
         sections.append(("top counters", counter_lines(registry, top=top)))
+        cache = cache_lines(registry)
+        if cache:
+            sections.append(("cache hit rate", cache))
     rule = "=" * 78
     out = [rule, " %s" % title, rule]
     for heading, lines in sections:
@@ -284,6 +313,9 @@ def render_html(
         panels.append(
             ("Top counters", "\n".join(counter_lines(registry, top=top)))
         )
+        cache = cache_lines(registry)
+        if cache:
+            panels.append(("Cache hit rate", "\n".join(cache)))
     body = "\n".join(
         "<section><h2>%s</h2><pre>%s</pre></section>"
         % (_html.escape(name), _html.escape(text))

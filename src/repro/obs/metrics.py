@@ -30,6 +30,7 @@ from bisect import bisect_left
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..exceptions import SpecError
+from .stream import EventBus, active_bus as _active_bus
 
 #: Label sets are stored as sorted ``(key, value)`` tuples — hashable,
 #: order-free, deterministic to serialize.
@@ -291,6 +292,59 @@ class MetricsRegistry:
 
 
 # ----------------------------------------------------------------------
+# Streaming hook: publish a registry onto the event bus
+# ----------------------------------------------------------------------
+
+
+def publish_metrics(
+    registry: MetricsRegistry, bus: Optional[EventBus] = None
+) -> int:
+    """Emit every sample of ``registry`` as ``metric`` events.
+
+    The streaming analogue of :meth:`MetricsRegistry.snapshot`: one
+    event per sample, in the registry's deterministic (name, label)
+    order, so two identical runs publish byte-identical event
+    sequences.  Uses the active bus when ``bus`` is ``None``; a no-op
+    returning 0 when streaming is off.  Values are deterministic
+    except ``perf.phase_seconds``-style wall-clock counters, which
+    callers exclude from byte-comparisons the same way they already do
+    for span durations.
+    """
+    target = bus if bus is not None else _active_bus()
+    if target is None:
+        return 0
+    count = 0
+    for metric in registry:
+        if metric.kind == "histogram":
+            for key, (counts, total, n) in sorted(metric.samples.items()):
+                target.emit(
+                    "metric",
+                    metric.name,
+                    attrs={
+                        "metric_kind": metric.kind,
+                        "labels": dict(key),
+                        "bucket_counts": list(counts),
+                        "sum": round(total, 9),
+                        "count": n,
+                    },
+                )
+                count += 1
+        else:
+            for key, value in sorted(metric.samples.items()):
+                target.emit(
+                    "metric",
+                    metric.name,
+                    attrs={
+                        "metric_kind": metric.kind,
+                        "labels": dict(key),
+                        "value": round(value, 9),
+                    },
+                )
+                count += 1
+    return count
+
+
+# ----------------------------------------------------------------------
 # Standard metric builders over the runtime / control reports
 # ----------------------------------------------------------------------
 
@@ -427,3 +481,38 @@ def record_cache_metrics(registry: MetricsRegistry, stats) -> None:
             verify.inc(value, outcome="mismatch")
         elif event == "key_errors":
             key_errors.inc(value)
+    record_cache_hit_rates(registry)
+
+
+def record_cache_hit_rates(registry: MetricsRegistry) -> Dict[str, float]:
+    """Derive the ``cache.hit_rate`` gauge from the raw counters.
+
+    ``hits / (hits + misses)`` per storage tier (a miss means the
+    lookup fell through *every* tier, so each tier's rate shares the
+    total-lookup denominator) plus the ``overall`` rate the dashboard
+    headline shows.  Recomputed from the counters' current state, so
+    repeated calls — one per merged worker delta — stay correct.
+    Returns the rates that were set (empty when no lookups recorded).
+    """
+    hits = registry.get("cache.hits")
+    misses = registry.get("cache.misses")
+    total_hits = sum(hits.samples.values()) if hits is not None else 0.0
+    total_misses = sum(misses.samples.values()) if misses is not None else 0.0
+    lookups = total_hits + total_misses
+    if lookups <= 0:
+        return {}
+    rate = registry.gauge(
+        "cache.hit_rate", "hits / (hits + misses) per storage tier"
+    )
+    by_tier: Dict[str, float] = {}
+    if hits is not None:
+        for key, value in hits.samples.items():
+            tier = dict(key).get("tier", "memory")
+            by_tier[tier] = by_tier.get(tier, 0.0) + value
+    out: Dict[str, float] = {}
+    for tier in sorted(by_tier):
+        out[tier] = by_tier[tier] / lookups
+        rate.set(out[tier], tier=tier)
+    out["overall"] = total_hits / lookups
+    rate.set(out["overall"], tier="overall")
+    return out

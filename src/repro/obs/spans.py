@@ -45,6 +45,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
+from .stream import active_bus as _active_bus
+
 #: The installed tracer, or ``None`` (tracing disabled).
 _ACTIVE: Optional["SpanRecorder"] = None
 
@@ -156,6 +158,31 @@ class _OpenSpan:
                 attrs=self.attrs,
             )
         )
+        # Streaming hook: a finished span becomes one event on the
+        # active bus.  Completion order is deterministic whenever the
+        # traced code is; the wall-clock fields ride in ``timing`` so
+        # ``timing=False`` exports stay byte-comparable.  The process
+        # label lives on the event envelope, not the payload — the
+        # parent relabels merged worker streams there.
+        bus = _active_bus()
+        if bus is not None:
+            bus.emit(
+                "span",
+                self.path,
+                attrs={
+                    "span_id": self.span_id,
+                    "parent_id": self.parent_id,
+                    "name": self.name,
+                    "path": self.path,
+                    "span_seq": self.seq,
+                    "depth": self.depth,
+                    "attrs": dict(self.attrs),
+                },
+                timing={
+                    "start_s": self._start - rec._t0,
+                    "duration_s": end - self._start,
+                },
+            )
         return False
 
 
